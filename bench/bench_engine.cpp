@@ -1,0 +1,120 @@
+// Infrastructure microbenchmarks (google-benchmark): raw throughput of the
+// discrete-event engine, the coroutine machinery, and the full simulated
+// stack (wall-clock events/sec and messages/sec). These bound how large a
+// cluster/workload the repository can simulate per second of real time.
+
+#include <benchmark/benchmark.h>
+
+#include "am/endpoint.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/config.hpp"
+#include "myrinet/fabric.hpp"
+#include "sim/engine.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/process.hpp"
+#include "sim/sync.hpp"
+
+namespace {
+
+using namespace vnet;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  sim::EventQueue q;
+  sim::Time t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) q.push(t + (i * 37) % 101, [] {});
+    while (!q.empty()) q.pop();
+    t += 101;
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_EngineTimerCascade(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    int remaining = 10'000;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) eng.after(10, [&] { tick(); });
+    };
+    eng.after(10, [&] { tick(); });
+    eng.run();
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_EngineTimerCascade);
+
+void BM_CoroutineDelayLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    for (int p = 0; p < 8; ++p) {
+      eng.spawn([](sim::Engine& e) -> sim::Process {
+        for (int i = 0; i < 1'000; ++i) co_await e.delay(100);
+      }(eng));
+    }
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 8'000);
+}
+BENCHMARK(BM_CoroutineDelayLoop);
+
+void BM_FabricPacketHop(benchmark::State& state) {
+  sim::Engine eng;
+  auto fabric = myrinet::Fabric::fat_tree(eng, 20, 5, 3);
+  std::uint64_t received = 0;
+  for (int h = 0; h < 20; ++h) {
+    fabric->station(h).on_receive = [&](myrinet::Packet) { ++received; };
+  }
+  int src = 0;
+  for (auto _ : state) {
+    myrinet::Packet p;
+    p.src = src;
+    p.dst = (src + 7) % 20;
+    p.route = fabric->routes(p.src, p.dst)[0];
+    p.wire_bytes = 64;
+    fabric->station(src).inject(std::move(p));
+    eng.run();
+    src = (src + 1) % 20;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(received));
+}
+BENCHMARK(BM_FabricPacketHop);
+
+void BM_FullStackMessageRate(benchmark::State& state) {
+  // End-to-end: how many complete AM request/replies the simulator
+  // executes per wall second (each is dozens of sim events).
+  for (auto _ : state) {
+    cluster::Cluster cl(cluster::NowConfig(2));
+    am::Name server;
+    std::uint64_t got = 0;
+    bool stop = false;
+    cl.spawn_thread(1, "s", [&](host::HostThread& t) -> sim::Task<> {
+      auto ep = co_await am::Endpoint::create(t, 1);
+      ep->set_handler(1, [&](am::Endpoint&, const am::Message& m) {
+        ++got;
+        m.reply(2, {m.arg(0)});
+      });
+      server = ep->name();
+      while (!stop) {
+        if (co_await ep->wait_for(t, 1 * sim::ms)) co_await ep->poll(t, 32);
+      }
+    });
+    cl.spawn_thread(0, "c", [&](host::HostThread& t) -> sim::Task<> {
+      auto ep = co_await am::Endpoint::create(t, 2);
+      while (!server.valid()) co_await t.sleep(10 * sim::us);
+      ep->map(0, server);
+      for (int i = 0; i < 2'000; ++i) co_await ep->request(t, 0, 1, 1);
+      while (ep->credits_in_use() > 0) co_await ep->poll(t, 16);
+      stop = true;
+    });
+    cl.run_to_completion();
+    benchmark::DoNotOptimize(got);
+  }
+  state.SetItemsProcessed(state.iterations() * 2'000);
+}
+BENCHMARK(BM_FullStackMessageRate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

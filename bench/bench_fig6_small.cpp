@@ -1,0 +1,80 @@
+// Figure 6: small-message client/server throughput under contention.
+//
+// Paper (PPoPP'99 §6.4): one server, k clients streaming 16-byte requests.
+//  * OneVN: all clients share one server endpoint. Peak ~78K msgs/s; drops
+//    to ~60K msgs/s around 3 clients when user-level credits stop
+//    preventing receive-queue overruns; each client gets its proportional
+//    share.
+//  * ST (one endpoint per client, one polling thread): with 8 frames the
+//    server suffers once re-mapping begins past 8 clients; with 96 frames
+//    polling resident (uncached) endpoints costs more than polling
+//    non-resident cacheable ones.
+//  * MT (thread per endpoint): resilient to the number of frames — threads
+//    with empty endpoints sleep; threads with resident endpoints run.
+// The OS sustains hundreds of re-mappings per second while the system
+// still delivers a large fraction of peak; client RTTs become bimodal.
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "apps/workloads.hpp"
+
+int main() {
+  using namespace vnet;
+  using apps::ContentionParams;
+
+  const bool quick = std::getenv("VNET_QUICK") != nullptr;
+  const bool full = std::getenv("VNET_FULL") != nullptr;
+  std::vector<int> clients =
+      quick ? std::vector<int>{1, 3, 9, 16}
+            : (full ? std::vector<int>{1, 2, 3, 4, 8, 9, 12, 16, 24, 32}
+                    : std::vector<int>{1, 2, 3, 4, 8, 9, 12, 16});
+
+  struct Config {
+    const char* name;
+    ContentionParams::Mode mode;
+    int frames;
+  };
+  const Config configs[] = {
+      {"OneVN", ContentionParams::Mode::kOneVN, 8},
+      {"ST-8", ContentionParams::Mode::kSingleThread, 8},
+      {"ST-96", ContentionParams::Mode::kSingleThread, 96},
+      {"MT-8", ContentionParams::Mode::kMultiThread, 8},
+      {"MT-96", ContentionParams::Mode::kMultiThread, 96},
+  };
+
+  std::printf("Figure 6: small-message throughput under contention "
+              "(window %s)\n",
+              quick ? "50ms" : "100ms");
+  std::printf("%-7s %8s | %12s %14s %14s | %9s %7s %7s | %9s %9s\n", "config",
+              "clients", "agg msg/s", "client min/s", "client max/s",
+              "remaps/s", "qfull", "notres", "rtt p50us", "rtt p99us");
+
+  for (const Config& c : configs) {
+    for (int k : clients) {
+      ContentionParams p;
+      p.mode = c.mode;
+      p.server_frames = c.frames;
+      p.clients = k;
+      p.request_bytes = 0;
+      p.warmup = 20 * sim::ms + k * 3 * sim::ms;  // cover initial binding
+      p.window = (quick ? 50 : 100) * sim::ms;
+      const auto r = apps::run_contention(p);
+      std::printf("%-7s %8d | %12.0f %14.0f %14.0f | %9.0f %7llu %7llu | "
+                  "%9.0f %9.0f\n",
+                  c.name, k, r.aggregate_per_sec, r.min_client_per_sec(),
+                  r.max_client_per_sec(), r.remaps_per_sec,
+                  static_cast<unsigned long long>(r.queue_full_nacks),
+                  static_cast<unsigned long long>(r.not_resident_nacks),
+                  r.rtt_us.quantile(0.5), r.rtt_us.quantile(0.99));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("paper reference: OneVN peak 78K msg/s dropping to ~60K at 3+ "
+              "clients; ST-8 degrades once >8 clients force re-mapping "
+              "(200-300 remaps/s, 50-75%% delivered); MT resilient to frame "
+              "count; RTT strongly bimodal under re-mapping.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 7: 8 KB bulk-transfer throughput under contention.
+//
+// Paper (PPoPP'99 §6.4): OneVN delivers each client its proportional share
+// of the server's ~42.8 MB/s (SBUS-bound) maximum. ST is sensitive to the
+// number of server frames: with 8 frames performance drops at 9 clients
+// and then degrades slowly; with 96 frames no re-mapping occurs and ST/MT
+// *surpass* OneVN because one-to-one endpoints eliminate receive-queue
+// overruns. MT behaves like ST here.
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "apps/workloads.hpp"
+
+int main() {
+  using namespace vnet;
+  using apps::ContentionParams;
+
+  const bool quick = std::getenv("VNET_QUICK") != nullptr;
+  const bool full = std::getenv("VNET_FULL") != nullptr;
+  std::vector<int> clients =
+      quick ? std::vector<int>{1, 4, 9, 16}
+            : (full ? std::vector<int>{1, 2, 4, 8, 9, 12, 16, 24, 32}
+                    : std::vector<int>{1, 2, 4, 8, 9, 12});
+
+  struct Config {
+    const char* name;
+    ContentionParams::Mode mode;
+    int frames;
+  };
+  const Config configs[] = {
+      {"OneVN", ContentionParams::Mode::kOneVN, 8},
+      {"ST-8", ContentionParams::Mode::kSingleThread, 8},
+      {"ST-96", ContentionParams::Mode::kSingleThread, 96},
+      {"MT-8", ContentionParams::Mode::kMultiThread, 8},
+      {"MT-96", ContentionParams::Mode::kMultiThread, 96},
+  };
+
+  std::printf("Figure 7: 8KB bulk throughput under contention (window %s)\n",
+              quick ? "50ms" : "100ms");
+  std::printf("%-7s %8s | %10s %12s %12s | %9s %7s %7s\n", "config",
+              "clients", "agg MB/s", "min MB/s", "max MB/s", "remaps/s",
+              "qfull", "notres");
+
+  for (const Config& c : configs) {
+    for (int k : clients) {
+      ContentionParams p;
+      p.mode = c.mode;
+      p.server_frames = c.frames;
+      p.clients = k;
+      p.request_bytes = 8192;
+      p.warmup = 20 * sim::ms + k * 3 * sim::ms;  // cover initial binding
+      p.window = (quick ? 50 : 100) * sim::ms;
+      const auto r = apps::run_contention(p);
+      const double scale = 8192.0 / (1024 * 1024);
+      std::printf("%-7s %8d | %10.1f %12.2f %12.2f | %9.0f %7llu %7llu\n",
+                  c.name, k, r.aggregate_mb_per_sec,
+                  r.min_client_per_sec() * scale,
+                  r.max_client_per_sec() * scale, r.remaps_per_sec,
+                  static_cast<unsigned long long>(r.queue_full_nacks),
+                  static_cast<unsigned long long>(r.not_resident_nacks));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("paper reference: OneVN ~42.8 MB/s aggregate; ST-8 drops at 9 "
+              "clients then degrades slowly; ST/MT-96 surpass OneVN (no "
+              "overruns with one-to-one endpoints).\n");
+  return 0;
+}

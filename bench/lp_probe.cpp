@@ -1,0 +1,16 @@
+// Interactive probe for the Linpack model.
+// Usage: lp_probe [node_mflops] [N] [NB]
+#include <cstdio>
+#include <cstdlib>
+#include "apps/linpack.hpp"
+#include "cluster/config.hpp"
+int main(int argc, char** argv) {
+  using namespace vnet;
+  apps::LinpackParams lp;
+  if (argc > 1) lp.node_mflops = atof(argv[1]);
+  if (argc > 2) lp.n = atoi(argv[2]);
+  if (argc > 3) lp.nb = atoi(argv[3]);
+  auto r = apps::run_linpack(cluster::NowConfig(lp.nodes), lp);
+  std::printf("mflops=%.0f n=%d nb=%d -> %.2f GF in %.2fs\n", lp.node_mflops, lp.n, lp.nb, r.gflops, r.seconds);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Regression reproducer: three event-driven services on one node, three
+// clients on distinct nodes, explicit replies. Used to chase a reply-loss
+// bug seen in examples/multi_service_node.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "am/endpoint.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/config.hpp"
+
+using namespace vnet;
+
+int main(int argc, char** argv) {
+  std::setbuf(stdout, nullptr);
+  const int total = argc > 1 ? std::atoi(argv[1]) : 200;
+  const std::uint64_t seed = argc > 2 ? std::atoll(argv[2]) : 1;
+  auto cfg = cluster::NowConfig(4);
+  cfg.seed = seed;
+  cluster::Cluster cl(cfg);
+
+  am::Name sname[3];
+  bool stop = false;
+  int done = 0;
+  std::uint64_t served[3] = {0, 0, 0}, replies[3] = {0, 0, 0};
+
+  for (int sidx = 0; sidx < 3; ++sidx) {
+    cl.spawn_thread(0, "svc", [&, sidx](host::HostThread& t) -> sim::Task<> {
+      auto ep = co_await am::Endpoint::create(t, 7 + sidx);
+      ep->set_handler(1, [&, sidx](am::Endpoint&, const am::Message& m) {
+        ++served[sidx];
+        m.reply(2, {m.arg(0)});
+      });
+      ep->set_event_mask(am::kEventReceive);
+      sname[sidx] = ep->name();
+      while (!stop) {
+        if (co_await ep->wait_for(t, 2 * sim::ms)) {
+          while (co_await ep->poll(t, 16) > 0) {
+          }
+        }
+      }
+    });
+  }
+  for (int cidx = 0; cidx < 3; ++cidx) {
+    cl.spawn_thread(1 + cidx, "cli",
+                    [&, cidx](host::HostThread& t) -> sim::Task<> {
+      auto ep = co_await am::Endpoint::create(t, 90 + cidx);
+      ep->set_handler(2, [&, cidx](am::Endpoint&, const am::Message&) {
+        ++replies[cidx];
+      });
+      while (!sname[0].valid() || !sname[1].valid() || !sname[2].valid()) {
+        co_await t.sleep(20 * sim::us);
+      }
+      ep->map(0, sname[cidx]);
+      const int my_total = total - cidx * 100;  // 400/300/200 like the example
+      for (int i = 0; i < my_total; ++i) {
+        co_await ep->request(t, 0, 1, static_cast<std::uint64_t>(i));
+      }
+      const sim::Time deadline = t.engine().now() + 300 * sim::ms;
+      while (replies[cidx] < static_cast<std::uint64_t>(my_total) &&
+             t.engine().now() < deadline) {
+        co_await ep->poll(t, 16);
+        co_await t.compute(1000);
+      }
+      co_await ep->destroy(t);
+      std::printf("seed=%llu cli=%d served=%llu replies=%llu credits=%d %s\n",
+                  static_cast<unsigned long long>(seed), cidx,
+                  static_cast<unsigned long long>(served[cidx]),
+                  static_cast<unsigned long long>(replies[cidx]),
+                  0,
+                  replies[cidx] == static_cast<std::uint64_t>(my_total)
+                      ? "OK"
+                      : "LOST");
+      if (++done == 3) stop = true;
+    });
+  }
+  cl.run_to_completion();
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Interactive probe for the S6.4 contention workloads: one line of
+// aggregate/per-client statistics for a single configuration.
+// Usage: smoke_contention [clients] [mode 0=OneVN 1=ST 2=MT] [frames]
+//        [bytes] [warmup_ms] [window_ms]   (env: VNET_TRACE, VNET_SYNC_FAULTS)
+#include <cstdio>
+#include "apps/workloads.hpp"
+int main(int argc, char** argv) {
+  using namespace vnet::apps;
+  ContentionParams p;
+  p.clients = argc > 1 ? atoi(argv[1]) : 2;
+  p.mode = argc > 2 ? static_cast<ContentionParams::Mode>(atoi(argv[2])) : ContentionParams::Mode::kOneVN;
+  p.server_frames = argc > 3 ? atoi(argv[3]) : 8;
+  p.request_bytes = argc > 4 ? static_cast<std::uint32_t>(atoi(argv[4])) : 0;
+  p.warmup = argc > 5 ? atoi(argv[5]) * vnet::sim::ms : 20 * vnet::sim::ms;
+  p.window = argc > 6 ? atoi(argv[6]) * vnet::sim::ms : 100 * vnet::sim::ms;
+  p.debug_trace = getenv("VNET_TRACE") != nullptr;
+  if (getenv("VNET_SYNC_FAULTS")) p.base.host.async_write_faults = false;
+  auto r = run_contention(p);
+  std::printf("clients=%d mode=%s frames=%d bytes=%u -> agg=%.0f/s (%.2f MB/s) min=%.0f max=%.0f remaps/s=%.0f qfull=%llu notres=%llu retrans=%llu modes=%zu p50=%.0f p99=%.0f\n",
+    p.clients, to_string(p.mode), p.server_frames, p.request_bytes,
+    r.aggregate_per_sec, r.aggregate_mb_per_sec, r.min_client_per_sec(), r.max_client_per_sec(),
+    r.remaps_per_sec, (unsigned long long)r.queue_full_nacks, (unsigned long long)r.not_resident_nacks,
+    (unsigned long long)r.retransmissions, r.rtt_us.mode_count(), r.rtt_us.quantile(0.5), r.rtt_us.quantile(0.99));
+  std::printf("  write_faults=%llu proxy_faults=%llu\n", (unsigned long long)r.server_write_faults, (unsigned long long)r.server_proxy_faults);
+  return 0;
+}

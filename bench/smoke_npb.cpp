@@ -1,0 +1,18 @@
+// Interactive probe for one NPB kernel's speedup curve on the NOW model.
+// Usage: smoke_npb [kernel name, default EP]
+#include <cstdio>
+#include <cstdlib>
+#include "apps/npb.hpp"
+#include "cluster/config.hpp"
+int main(int argc, char** argv) {
+  using namespace vnet;
+  auto cfg = cluster::NowConfig(40);
+  const char* name = argc > 1 ? argv[1] : "EP";
+  for (auto k : apps::all_npb_kernels()) {
+    if (std::string(apps::to_string(k)) != name) continue;
+    auto pts = apps::npb_speedups(cfg, k, {1, 2, 4, 8, 16, 32});
+    for (auto& p : pts)
+      std::printf("%s p=%2d T=%8.2fs speedup=%.2f\n", name, p.procs, p.seconds, p.speedup);
+  }
+  return 0;
+}

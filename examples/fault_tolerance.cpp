@@ -1,0 +1,112 @@
+// The delivery/error model in action (§3.2): a client talks to a primary
+// server; the primary's node is unplugged mid-run; the transport masks
+// transient losses, but once the peer is unreachable the in-flight
+// requests come back through the undeliverable-message handler and the
+// client fails over to a replica — no timeouts or message logging in the
+// application's fast path.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "am/endpoint.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/config.hpp"
+
+using namespace vnet;
+
+int main() {
+  std::setbuf(stdout, nullptr);
+  auto cfg = cluster::NowConfig(3);
+  cfg.nic.retransmit_timeout = 200 * sim::us;
+  cfg.nic.unreachable_timeout = 15 * sim::ms;  // declare death after 15 ms
+  cluster::Cluster cl(cfg);
+
+  am::Name primary_name, replica_name;
+  bool stop = false;
+
+  auto server = [&](am::Name* slot, std::uint64_t tag,
+                    const char* label) -> cluster::Cluster::ThreadBody {
+    return [&, slot, tag, label](host::HostThread& t) -> sim::Task<> {
+      auto ep = co_await am::Endpoint::create(t, tag);
+      ep->set_handler(1, [label](am::Endpoint&, const am::Message& m) {
+        m.reply(2, {m.arg(0)});
+        (void)label;
+      });
+      ep->set_event_mask(am::kEventReceive);
+      *slot = ep->name();
+      while (!stop) {
+        if (co_await ep->wait_for(t, 2 * sim::ms)) co_await ep->poll(t, 16);
+      }
+    };
+  };
+  cl.spawn_thread(1, "primary", server(&primary_name, 0x111, "primary"));
+  cl.spawn_thread(2, "replica", server(&replica_name, 0x222, "replica"));
+
+  cl.spawn_thread(0, "client", [&](host::HostThread& t) -> sim::Task<> {
+    auto ep = co_await am::Endpoint::create(t, 0xc);
+    int acked = 0, returned = 0, reissued = 0;
+    ep->set_handler(2, [&](am::Endpoint&, const am::Message&) { ++acked; });
+    ep->set_undeliverable_handler(
+        [&](am::Endpoint&, am::ReturnedMessage r) {
+          // Error-aware application policy: re-issue to the replica.
+          ++returned;
+          std::printf("[client] t=%s: request %llu returned (%s) -> "
+                      "failing over\n",
+                      sim::format_time(t.engine().now()).c_str(),
+                      static_cast<unsigned long long>(
+                          r.descriptor.body.args[0]),
+                      r.unreachable() ? "unreachable"
+                                      : lanai::to_string(r.reason));
+        });
+    while (!primary_name.valid() || !replica_name.valid()) {
+      co_await t.sleep(20 * sim::us);
+    }
+    ep->map(0, primary_name);
+    ep->map(1, replica_name);
+
+    // Send to the primary; its node dies at t = 2 ms.
+    for (std::uint64_t i = 0; i < 40; ++i) {
+      co_await ep->request(t, 0, 1, i);
+      co_await ep->poll(t, 8);
+      co_await t.sleep(200 * sim::us);
+    }
+    // Collect replies and returned messages. A request delivered just
+    // before the crash whose *reply* died is neither acked nor returned —
+    // only an application deadline can catch those (the transport
+    // guarantees exactly-once delivery, not request/response atomicity).
+    const sim::Time deadline = t.engine().now() + 60 * sim::ms;
+    while (acked + returned < 40 && t.engine().now() < deadline) {
+      co_await ep->poll(t, 16);
+      co_await t.sleep(100 * sim::us);
+    }
+    std::printf("[client] t=%s: %d acked, %d returned-to-sender, %d "
+                "missing -> fail over to replica\n",
+                sim::format_time(t.engine().now()).c_str(), acked, returned,
+                40 - acked - returned);
+    // Re-issue everything not positively acknowledged to the replica.
+    const int to_reissue = 40 - acked;
+    const int base_acked = acked;
+    for (std::uint64_t i = 0; i < static_cast<std::uint64_t>(to_reissue);
+         ++i) {
+      co_await ep->request(t, 1, 1, 1000 + i);
+      ++reissued;
+    }
+    while (acked < base_acked + to_reissue) {
+      co_await ep->poll(t, 16);
+      co_await t.sleep(50 * sim::us);
+    }
+    std::printf("[client] all %d requests completed (%d via replica); "
+                "returned=%d\n",
+                acked, reissued, returned);
+    stop = true;
+  });
+
+  // Pull the primary's cable mid-run.
+  cl.engine().after(2 * sim::ms, [&] {
+    std::printf("[fabric] t=2ms: node 1 (primary) unplugged\n");
+    cl.fabric().set_host_link(1, false);
+  });
+
+  cl.run_to_completion();
+  return 0;
+}

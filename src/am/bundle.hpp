@@ -1,0 +1,82 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "am/endpoint.hpp"
+
+namespace vnet::am {
+
+/// An AM-II bundle: the per-process collection of endpoints (§3). Beyond
+/// ownership, a bundle provides what VIA gets from shared completion
+/// queues (§7) without per-connection resources: a single place for a
+/// thread to wait on *any* member endpoint's events, and a one-call sweep
+/// poll — the natural shape of the single-threaded servers of §6.4.
+class Bundle {
+ public:
+  explicit Bundle(host::Host& host) : host_(&host), events_(host.engine()) {}
+
+  Bundle(const Bundle&) = delete;
+  Bundle& operator=(const Bundle&) = delete;
+
+  /// Creates an endpoint owned by this bundle.
+  sim::Task<Endpoint*> create_endpoint(host::HostThread& t, std::uint64_t tag,
+                                       bool shared = false) {
+    auto ep = co_await Endpoint::create(t, tag, shared);
+    ep->set_event_sink(&events_);
+    endpoints_.push_back(std::move(ep));
+    co_return endpoints_.back().get();
+  }
+
+  std::size_t size() const { return endpoints_.size(); }
+  Endpoint* at(std::size_t i) { return endpoints_[i].get(); }
+
+  /// Blocks the calling thread until some member endpoint has a pending
+  /// event (per its mask); returns that endpoint.
+  sim::Task<Endpoint*> wait_any(host::HostThread& t) {
+    for (;;) {
+      for (auto& ep : endpoints_) {
+        if (ep->has_masked_event()) co_return ep.get();
+      }
+      co_await t.block(events_);
+    }
+  }
+
+  /// wait_any with a timeout; nullptr if nothing arrived in time.
+  sim::Task<Endpoint*> wait_any_for(host::HostThread& t, sim::Duration d) {
+    const sim::Time deadline = t.engine().now() + d;
+    for (;;) {
+      for (auto& ep : endpoints_) {
+        if (ep->has_masked_event()) co_return ep.get();
+      }
+      const sim::Duration rem = deadline - t.engine().now();
+      if (rem <= 0) co_return nullptr;
+      co_await t.block_for(events_, rem);
+    }
+  }
+
+  /// Polls every member endpoint once; returns messages processed.
+  sim::Task<std::size_t> poll_all(host::HostThread& t,
+                                  std::size_t max_per_ep = 16) {
+    std::size_t n = 0;
+    for (auto& ep : endpoints_) {
+      n += co_await ep->poll(t, max_per_ep);
+    }
+    co_return n;
+  }
+
+  /// Destroys all member endpoints (synchronizing each with the NIC).
+  sim::Task<> destroy_all(host::HostThread& t) {
+    for (auto& ep : endpoints_) {
+      co_await ep->destroy(t);
+    }
+    endpoints_.clear();
+  }
+
+ private:
+  host::Host* host_;
+  sim::CondVar events_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+};
+
+}  // namespace vnet::am

@@ -1,0 +1,401 @@
+#include "am/endpoint.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vnet::am {
+
+namespace {
+
+std::uint32_t frag_count_for(std::uint32_t bulk_bytes, std::uint32_t mtu) {
+  if (bulk_bytes == 0) return 1;
+  return (bulk_bytes + mtu - 1) / mtu;
+}
+
+}  // namespace
+
+Endpoint::Endpoint(host::Host& host, lanai::EndpointState* state, bool shared)
+    : host_(&host),
+      state_(state),
+      shared_(shared),
+      mutex_(host.engine()),
+      events_(host.engine()),
+      handlers_(256),
+      credit_limit_(host.nic().config().recv_request_depth) {
+  state_->on_arrival = [this] { on_arrival(); };
+  state_->on_send_progress = [this] { on_send_progress(); };
+  state_->on_return_to_sender = [this](lanai::SendDescriptor d,
+                                       lanai::NackReason r) {
+    on_returned(std::move(d), r);
+  };
+}
+
+Endpoint::~Endpoint() {
+  if (state_ != nullptr) {
+    state_->on_arrival = nullptr;
+    state_->on_send_progress = nullptr;
+    state_->on_return_to_sender = nullptr;
+  }
+}
+
+sim::Task<std::unique_ptr<Endpoint>> Endpoint::create(host::HostThread& t,
+                                                      std::uint64_t tag,
+                                                      bool shared) {
+  lanai::EndpointState* state =
+      co_await t.host().driver().create_endpoint(t.ctx(), tag);
+  co_return std::unique_ptr<Endpoint>(new Endpoint(t.host(), state, shared));
+}
+
+sim::Task<> Endpoint::destroy(host::HostThread& t) {
+  if (destroyed_) co_return;
+  destroyed_ = true;
+  // Detach upcalls before the state goes away.
+  state_->on_arrival = nullptr;
+  state_->on_send_progress = nullptr;
+  state_->on_return_to_sender = nullptr;
+  co_await host_->driver().destroy_endpoint(t.ctx(), state_);
+  state_ = nullptr;
+  events_.notify_all();
+}
+
+// -------------------------------------------------- naming & protection
+
+void Endpoint::map(std::uint32_t index, const Name& peer) {
+  map_raw(index, peer.node, peer.ep, peer.tag);
+}
+
+void Endpoint::map_raw(std::uint32_t index, NodeId node, EpId ep,
+                       std::uint64_t key) {
+  if (state_->translations.size() <= index) {
+    state_->translations.resize(index + 1);
+  }
+  state_->translations[index] = lanai::Translation{true, node, ep, key};
+}
+
+void Endpoint::unmap(std::uint32_t index) {
+  if (index < state_->translations.size()) {
+    state_->translations[index] = lanai::Translation{};
+  }
+}
+
+void Endpoint::set_handler(std::uint8_t index, Handler h) {
+  handlers_[index] = std::move(h);
+}
+
+// ---------------------------------------------------------------- events
+
+sim::Task<> Endpoint::wait(host::HostThread& t) {
+  while (!poll_would_find_work_masked()) {
+    co_await t.block(events_);
+    if (destroyed_) co_return;
+  }
+}
+
+sim::Task<bool> Endpoint::wait_for(host::HostThread& t, sim::Duration d) {
+  const sim::Time deadline = host_->engine().now() + d;
+  while (!poll_would_find_work_masked()) {
+    const sim::Duration rem = deadline - host_->engine().now();
+    if (rem <= 0) co_return false;
+    co_await t.block_for(events_, rem);
+    if (destroyed_) co_return false;
+  }
+  co_return true;
+}
+
+bool Endpoint::poll_would_find_work() const {
+  return state_ != nullptr &&
+         (!state_->recv_requests.empty() || !state_->recv_replies.empty() ||
+          !returned_.empty());
+}
+
+bool Endpoint::poll_would_find_work_masked() const {
+  if (state_ == nullptr) return false;
+  if ((event_mask_ & kEventReceive) != 0 &&
+      (!state_->recv_requests.empty() || !state_->recv_replies.empty())) {
+    return true;
+  }
+  if ((event_mask_ & kEventReturned) != 0 && !returned_.empty()) return true;
+  if ((event_mask_ & kEventSendSpace) != 0) {
+    // A pending reply counts too: processing it returns a credit, so a
+    // send-space waiter must wake to poll (credits only move under poll).
+    if (send_space_available() || !state_->recv_replies.empty()) return true;
+  }
+  return false;
+}
+
+bool Endpoint::send_space_available() const {
+  const auto depth =
+      static_cast<std::size_t>(host_->nic().config().send_queue_depth);
+  return state_->send_queue.size() < depth &&
+         (!flow_control_ || outstanding_requests_ < credit_limit_);
+}
+
+// --------------------------------------------------------------- sending
+
+sim::Task<> Endpoint::charge_send(host::HostThread& t) {
+  const host::HostConfig& hc = host_->config();
+  const bool gam = !host_->nic().config().reliable_transport;
+  const int words =
+      gam ? hc.gam_send_descriptor_words : hc.send_descriptor_words;
+  const sim::Duration word_cost =
+      resident() ? hc.pio_write_word : hc.mem_write_word;
+  co_await t.compute(hc.send_fixed + words * word_cost);
+}
+
+sim::Task<> Endpoint::charge_recv(host::HostThread& t) {
+  const host::HostConfig& hc = host_->config();
+  const bool gam = !host_->nic().config().reliable_transport;
+  sim::Duration d;
+  if (resident()) {
+    // Virtual networks read whole descriptors with one VIS block load;
+    // GAM reads word-at-a-time (§6.1).
+    d = (hc.use_block_loads && !gam) ? hc.pio_block_read
+                                     : 8 * hc.pio_read_word;
+  } else {
+    d = 8 * hc.mem_poll;
+  }
+  co_await t.compute(hc.recv_fixed + d);
+}
+
+sim::Task<> Endpoint::lock(host::HostThread& t) {
+  if (!shared_) co_return;
+  co_await t.compute(host_->config().shared_lock_cost);
+  co_await mutex_.acquire();
+}
+
+void Endpoint::unlock() {
+  if (shared_) mutex_.release();
+}
+
+sim::Task<> Endpoint::request(host::HostThread& t, std::uint32_t dest_index,
+                              std::uint8_t handler, std::uint64_t a0,
+                              std::uint64_t a1, std::uint64_t a2,
+                              std::uint64_t a3) {
+  co_return co_await request_bulk(t, dest_index, handler, 0, nullptr, a0, a1,
+                                  a2, a3);
+}
+
+sim::Task<> Endpoint::request_bulk(
+    host::HostThread& t, std::uint32_t dest_index, std::uint8_t handler,
+    std::uint32_t bulk_bytes,
+    std::shared_ptr<const std::vector<std::uint8_t>> data, std::uint64_t a0,
+    std::uint64_t a1, std::uint64_t a2, std::uint64_t a3) {
+  lanai::SendDescriptor d;
+  d.dest_index = dest_index;
+  d.body.is_request = true;
+  d.body.handler = handler;
+  d.body.args = {a0, a1, a2, a3};
+  d.body.bulk_bytes = bulk_bytes;
+  d.body.bulk_data = std::move(data);
+  co_await send_common(t, std::move(d), /*is_request=*/true);
+}
+
+sim::Task<> Endpoint::reply(
+    host::HostThread& t, const Message& to, std::uint8_t handler,
+    std::uint64_t a0, std::uint64_t a1, std::uint64_t a2, std::uint64_t a3,
+    std::uint32_t bulk_bytes,
+    std::shared_ptr<const std::vector<std::uint8_t>> data) {
+  assert(to.reply_token().valid());
+  lanai::SendDescriptor d;
+  d.reply_to = to.reply_token();
+  d.body.is_request = false;
+  d.body.handler = handler;
+  d.body.args = {a0, a1, a2, a3};
+  d.body.bulk_bytes = bulk_bytes;
+  d.body.bulk_data = std::move(data);
+  co_await send_common(t, std::move(d), /*is_request=*/false);
+}
+
+sim::Task<> Endpoint::send_common(host::HostThread& t,
+                                  lanai::SendDescriptor desc,
+                                  bool is_request) {
+  co_await lock(t);
+  const auto depth =
+      static_cast<std::size_t>(host_->nic().config().send_queue_depth);
+
+  // Block (spin-polling, like the real library) while the send queue is
+  // full or — for requests — the credit window is exhausted (§6.4).
+  bool stalled = false;
+  int spins = 0;
+  while (state_->send_queue.size() >= depth ||
+         (is_request && flow_control_ &&
+          outstanding_requests_ >= credit_limit_)) {
+    if (!stalled) {
+      stalled = true;
+      ++stats_.send_stalls;
+    }
+    unlock();
+    // Poll to drain replies (returning credits) and keep handlers running.
+    co_await poll(t, 4);
+    if (++spins > 64) {
+      // Long stall: yield the processor instead of burning it.
+      co_await t.block_for(events_, 50 * sim::us);
+      spins = 0;
+    } else {
+      co_await t.compute(200);  // spin-poll iteration
+    }
+    if (destroyed_) co_return;
+    co_await lock(t);
+  }
+
+  // The write into the endpoint may fault (on-host r/o -> r/w, §4.2).
+  co_await host_->driver().ensure_writable(t.ctx(), state_);
+  host_->driver().touch(state_);
+  co_await charge_send(t);
+  if (desc.body.bulk_bytes > 0) {
+    // Stage the payload into the pinned communication region.
+    co_await t.compute(static_cast<sim::Duration>(
+        desc.body.bulk_bytes * host_->config().bulk_copy_ns_per_byte));
+  }
+
+  desc.msg_id = state_->alloc_msg_id();
+  desc.frag_count = frag_count_for(desc.body.bulk_bytes,
+                                   host_->nic().config().max_packet_payload);
+  state_->send_queue.push_back(std::move(desc));
+  if (is_request) {
+    ++outstanding_requests_;
+    ++stats_.requests_sent;
+  } else {
+    ++stats_.replies_sent;
+  }
+  host_->nic().doorbell(*state_);
+  unlock();
+}
+
+// --------------------------------------------------------------- polling
+
+sim::Task<std::size_t> Endpoint::poll(host::HostThread& t, std::size_t max) {
+  if (destroyed_) co_return 0;
+  co_await lock(t);
+  const host::HostConfig& hc = host_->config();
+  // Probing the endpoint costs an uncached PIO read when it is resident in
+  // NIC SRAM, but only a cached load when it lives in host memory — the
+  // §6.4 observation that made ST-with-96-frames *slower* than OneVN.
+  co_await t.compute(resident() ? hc.pio_read_word : hc.mem_poll);
+  host_->driver().touch(state_);
+
+  std::size_t processed = 0;
+
+  // Undeliverable messages first: the application learns about errors
+  // promptly (§3.2).
+  while (processed < max && !returned_.empty()) {
+    ReturnedMessage r = std::move(returned_.front());
+    returned_.pop_front();
+    if (r.descriptor.body.is_request && outstanding_requests_ > 0) {
+      --outstanding_requests_;  // the request will never be replied to
+    }
+    ++stats_.returns_handled;
+    ++processed;
+    if (undeliverable_) undeliverable_(*this, std::move(r));
+  }
+
+  while (processed < max && state_ != nullptr) {
+    // Prefer replies: they complete outstanding operations and return
+    // credits, keeping the pipeline moving.
+    std::deque<lanai::RecvEntry>* q = nullptr;
+    if (!state_->recv_replies.empty()) {
+      q = &state_->recv_replies;
+    } else if (!state_->recv_requests.empty()) {
+      q = &state_->recv_requests;
+    } else {
+      break;
+    }
+    lanai::RecvEntry entry = std::move(q->front());
+    q->pop_front();
+    const bool credit_only =
+        !entry.body.is_request && entry.body.handler == kCreditHandler;
+    if (credit_only) {
+      // Implicit credit replies carry no payload the application reads;
+      // the library just bumps its window counter (one flag load).
+      co_await t.compute(resident() ? host_->config().pio_read_word
+                                    : host_->config().mem_poll);
+    } else {
+      co_await charge_recv(t);
+      if (entry.body.bulk_bytes > 0) {
+        // Copy the payload out of the communication region.
+        co_await t.compute(static_cast<sim::Duration>(
+            entry.body.bulk_bytes * host_->config().bulk_copy_ns_per_byte));
+      }
+    }
+    ++processed;
+
+    Message msg(std::move(entry));
+    if (!msg.is_request()) {
+      if (outstanding_requests_ > 0) --outstanding_requests_;
+      if (msg.handler() != kCreditHandler) {
+        ++stats_.messages_handled;
+        if (handlers_[msg.handler()]) handlers_[msg.handler()](*this, msg);
+      }
+      events_.notify_all();  // credit/space became available
+      continue;
+    }
+
+    ++stats_.messages_handled;
+    if (handlers_[msg.handler()]) handlers_[msg.handler()](*this, msg);
+
+    // Request/reply paradigm: send the handler's reply, or an implicit
+    // credit reply so the requester's window advances.
+    if (msg.reply_intent().has_value()) {
+      const auto& ri = *msg.reply_intent();
+      lanai::SendDescriptor d;
+      d.reply_to = msg.reply_token();
+      d.body.is_request = false;
+      d.body.handler = ri.handler;
+      d.body.args = ri.args;
+      d.body.bulk_bytes = ri.bulk_bytes;
+      d.body.bulk_data = ri.data;
+      co_await enqueue_reply_locked(t, std::move(d));
+      ++stats_.replies_sent;
+    } else if (flow_control_) {
+      lanai::SendDescriptor d;
+      d.reply_to = msg.reply_token();
+      d.body.is_request = false;
+      d.body.handler = kCreditHandler;
+      co_await enqueue_reply_locked(t, std::move(d));
+      ++stats_.credit_replies_sent;
+    }
+  }
+
+  unlock();
+  co_return processed;
+}
+
+sim::Task<> Endpoint::enqueue_reply_locked(host::HostThread& t,
+                                           lanai::SendDescriptor d) {
+  const auto depth =
+      static_cast<std::size_t>(host_->nic().config().send_queue_depth);
+  // Replies need only send-queue space (no credits). Space frees up as the
+  // NIC acknowledges in-flight messages, without host involvement, so
+  // blocking here cannot deadlock the poll loop.
+  while (state_->send_queue.size() >= depth) {
+    co_await events_.wait();
+    if (destroyed_) co_return;
+  }
+  co_await host_->driver().ensure_writable(t.ctx(), state_);
+  co_await charge_send(t);
+  d.msg_id = state_->alloc_msg_id();
+  d.frag_count = frag_count_for(d.body.bulk_bytes,
+                                host_->nic().config().max_packet_payload);
+  state_->send_queue.push_back(std::move(d));
+  host_->nic().doorbell(*state_);
+}
+
+// --------------------------------------------------------------- upcalls
+
+void Endpoint::on_arrival() {
+  events_.notify_all();
+  if (event_sink_ != nullptr) event_sink_->notify_all();
+}
+
+void Endpoint::on_send_progress() {
+  events_.notify_all();
+  if (event_sink_ != nullptr) event_sink_->notify_all();
+}
+
+void Endpoint::on_returned(lanai::SendDescriptor d, lanai::NackReason r) {
+  returned_.push_back(ReturnedMessage{std::move(d), r});
+  events_.notify_all();
+  if (event_sink_ != nullptr) event_sink_->notify_all();
+}
+
+}  // namespace vnet::am

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "lanai/endpoint_state.hpp"
+#include "lanai/frame.hpp"
+
+namespace vnet::am {
+
+using lanai::EpId;
+using lanai::kMaxArgs;
+using myrinet::NodeId;
+
+/// Handler index reserved by the library for implicit credit-return
+/// replies (the AM request/reply paradigm: every request is answered).
+inline constexpr std::uint8_t kCreditHandler = 255;
+
+/// A delivered message as seen by an application handler.
+///
+/// Handlers run during Endpoint::poll on the polling thread. A request
+/// handler may set a reply with reply(); if it does not (and flow control
+/// is enabled), the library sends an implicit credit reply so the
+/// requester's outstanding-message window advances.
+class Message {
+ public:
+  std::uint8_t handler() const { return entry_.body.handler; }
+  bool is_request() const { return entry_.body.is_request; }
+  const std::array<std::uint64_t, kMaxArgs>& args() const {
+    return entry_.body.args;
+  }
+  std::uint64_t arg(std::size_t i) const { return entry_.body.args[i]; }
+  std::uint32_t bulk_bytes() const { return entry_.body.bulk_bytes; }
+  const std::shared_ptr<const std::vector<std::uint8_t>>& bulk_data() const {
+    return entry_.body.bulk_data;
+  }
+  NodeId src_node() const { return entry_.src_node; }
+  EpId src_ep() const { return entry_.src_ep; }
+  sim::Time arrived_at() const { return entry_.arrived_at; }
+
+  /// Sets the reply to this request; sent by poll() after the handler
+  /// returns. Only meaningful for requests.
+  void reply(std::uint8_t handler,
+             std::initializer_list<std::uint64_t> args = {},
+             std::uint32_t bulk_bytes = 0,
+             std::shared_ptr<const std::vector<std::uint8_t>> data =
+                 nullptr) const {
+    ReplyIntent r;
+    r.handler = handler;
+    std::size_t i = 0;
+    for (std::uint64_t a : args) {
+      if (i >= kMaxArgs) break;
+      r.args[i++] = a;
+    }
+    r.bulk_bytes = bulk_bytes;
+    r.data = std::move(data);
+    reply_intent_ = std::move(r);
+  }
+
+  // --- library internals ---
+
+  struct ReplyIntent {
+    std::uint8_t handler = 0;
+    std::array<std::uint64_t, kMaxArgs> args{};
+    std::uint32_t bulk_bytes = 0;
+    std::shared_ptr<const std::vector<std::uint8_t>> data;
+  };
+
+  explicit Message(lanai::RecvEntry entry) : entry_(std::move(entry)) {}
+  const lanai::ReplyToken& reply_token() const { return entry_.reply_to; }
+  const std::optional<ReplyIntent>& reply_intent() const {
+    return reply_intent_;
+  }
+
+ private:
+  lanai::RecvEntry entry_;
+  mutable std::optional<ReplyIntent> reply_intent_;
+};
+
+/// A message returned to its sender as undeliverable (§3.2), passed to the
+/// endpoint's undeliverable-message handler so the application can decide
+/// whether to abort, log, or re-issue.
+struct ReturnedMessage {
+  lanai::SendDescriptor descriptor;
+  lanai::NackReason reason = lanai::NackReason::kNone;
+
+  bool unreachable() const { return reason == lanai::NackReason::kNone; }
+};
+
+}  // namespace vnet::am

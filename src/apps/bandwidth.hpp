@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/config.hpp"
+
+namespace vnet::apps {
+
+/// One point of the Fig 4 transfer-bandwidth curve.
+struct BandwidthPoint {
+  std::uint32_t bytes = 0;
+  double mbps = 0;    ///< delivered steady-state bandwidth
+  double rtt_us = 0;  ///< round trip of one n-byte message echoed back
+};
+
+struct BandwidthResult {
+  std::vector<BandwidthPoint> points;
+  /// Least-squares fit RTT(n) = slope_us_per_byte * n + intercept_us
+  /// (paper: 0.1112 n + 61.02 us, R^2 = 0.99).
+  double slope_us_per_byte = 0;
+  double intercept_us = 0;
+  double r_squared = 0;
+  /// Half-power message size N_1/2 (paper: ~540 bytes).
+  double n_half_bytes = 0;
+};
+
+/// Runs the Fig 4 microbenchmark on a fresh 2-node cluster: for each
+/// message size, a windowed stream measures delivered bandwidth, and a
+/// ping-pong with same-size echoes measures round-trip time.
+BandwidthResult measure_bandwidth(const cluster::ClusterConfig& config,
+                                  const std::vector<std::uint32_t>& sizes,
+                                  int stream_messages = 160, int pingpongs = 30);
+
+}  // namespace vnet::apps

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "cluster/config.hpp"
+
+namespace vnet::apps {
+
+/// The massively-parallel Linpack model of §6.2 (ScaLAPACK + Sun BLAS +
+/// MPICH over Active Messages): right-looking blocked LU on a P x Q process
+/// grid, with per-step panel broadcasts along rows/columns (ring pipelined,
+/// through the full simulated stack) and trailing-matrix updates charged at
+/// the node's DGEMM rate. The paper's 100-node cluster sustained 10.14
+/// GFLOPS, the first cluster on the Top500 list.
+struct LinpackParams {
+  int nodes = 100;
+  int grid_p = 10;  ///< process-grid rows (P x Q must equal nodes)
+  int grid_q = 10;
+  int n = 6000;     ///< matrix dimension
+  int nb = 600;     ///< block size (n / nb pipeline steps)
+  /// Effective DGEMM rate per node. The UltraSPARC-1 peaks at 334 MFLOPS;
+  /// in-cache DGEMM reached roughly half of that.
+  double node_mflops = 240.0;
+};
+
+struct LinpackResult {
+  double gflops = 0;
+  double seconds = 0;
+  double peak_fraction = 0;  ///< of nodes * node peak (334 MF)
+};
+
+LinpackResult run_linpack(const cluster::ClusterConfig& config,
+                          const LinpackParams& params);
+
+}  // namespace vnet::apps

@@ -1,0 +1,27 @@
+#pragma once
+
+#include "cluster/config.hpp"
+
+namespace vnet::apps {
+
+/// LogP characterization results, all in microseconds (Fig 3).
+struct LogpResult {
+  double os_us = 0;   ///< send overhead: host time in the request call
+  double or_us = 0;   ///< receive overhead: host time handling one message
+  double l_us = 0;    ///< latency: RTT/2 - o_s - o_r
+  double g_us = 0;    ///< gap: steady-state time per small message
+  double rtt_us = 0;  ///< measured round-trip time of a 16-byte message
+};
+
+/// Runs the LogP microbenchmark of [9] on a fresh 2-node cluster with the
+/// given configuration:
+///  * o_s — mean simulated time spent inside Endpoint::request;
+///  * RTT — request/reply ping-pong with a single outstanding message;
+///  * o_r — mean time spent in a poll that handles exactly one message;
+///  * g   — a `stream`-message burst under the full credit window, taking
+///          the steady-state inter-arrival time at the receiver;
+///  * L   — RTT/2 - o_s - o_r.
+LogpResult measure_logp(const cluster::ClusterConfig& config,
+                        int pingpongs = 300, int stream = 3000);
+
+}  // namespace vnet::apps

@@ -1,0 +1,170 @@
+#include "apps/npb.hpp"
+
+#include <cmath>
+
+#include "apps/parallel.hpp"
+#include "cluster/cluster.hpp"
+
+namespace vnet::apps {
+
+namespace {
+
+/// Per-kernel model parameters (Class A, per iteration). Serial times are
+/// representative of a 167 MHz UltraSPARC-1; iteration counts are truncated
+/// (see header). Communication volumes follow the benchmarks' asymptotics:
+/// surface exchanges shrink as p^(2/3), transposes as 1/p^2 per pair.
+struct Spec {
+  const char* name;
+  double serial_sec_per_iter;  ///< single-rank compute per iteration
+  int iters;                   ///< truncated iteration count
+  /// Cache bonus: smaller per-rank working sets improve cache behaviour,
+  /// compensating for communication (§6.2). Fractional gain per log2 p.
+  double cache_bonus = 0.02;
+};
+
+Spec spec_of(NpbKernel k) {
+  switch (k) {
+    case NpbKernel::kBT:
+      return {"BT", 13.0, 3};
+    case NpbKernel::kSP:
+      return {"SP", 3.8, 4};
+    case NpbKernel::kLU:
+      return {"LU", 7.6, 3};
+    case NpbKernel::kMG:
+      return {"MG", 13.7, 4};
+    case NpbKernel::kFT:
+      return {"FT", 14.2, 4, 0.015};
+    case NpbKernel::kIS:
+      return {"IS", 4.2, 5, 0.0};
+    case NpbKernel::kCG:
+      return {"CG", 3.9, 3};
+    case NpbKernel::kEP:
+      return {"EP", 130.0, 1, 0.0};
+  }
+  return {"?", 1.0, 1};
+}
+
+sim::Duration compute_time(const Spec& s, int p, double cpu_speedup) {
+  const double eff = 1.0 + s.cache_bonus * std::log2(static_cast<double>(p));
+  return static_cast<sim::Duration>(s.serial_sec_per_iter /
+                                    (p * eff * cpu_speedup) * 1e9);
+}
+
+std::uint32_t face_bytes(double base, int p) {
+  return static_cast<std::uint32_t>(
+      base / std::pow(static_cast<double>(p), 2.0 / 3.0));
+}
+
+sim::Task<> run_kernel(Par& par, NpbKernel kernel, double cpu_speedup) {
+  const Spec s = spec_of(kernel);
+  const int p = par.size();
+  const int r = par.rank();
+  const int stride = std::max(1, static_cast<int>(std::lround(
+                                     std::sqrt(static_cast<double>(p)))));
+  co_await par.barrier();
+  for (int it = 0; it < s.iters; ++it) {
+    co_await par.compute(compute_time(s, p, cpu_speedup));
+    if (p == 1) continue;
+    switch (kernel) {
+      case NpbKernel::kBT:
+        // ADI sweeps: ghost-face exchanges in three directions.
+        co_await par.exchange((r + 1) % p, face_bytes(164e3, p));
+        co_await par.exchange((r + p - 1) % p, face_bytes(164e3, p));
+        co_await par.exchange((r + stride) % p, face_bytes(164e3, p));
+        co_await par.exchange((r + p - stride) % p, face_bytes(164e3, p));
+        break;
+      case NpbKernel::kSP:
+        co_await par.exchange((r + 1) % p, face_bytes(100e3, p));
+        co_await par.exchange((r + p - 1) % p, face_bytes(100e3, p));
+        co_await par.exchange((r + stride) % p, face_bytes(100e3, p));
+        co_await par.exchange((r + p - stride) % p, face_bytes(100e3, p));
+        break;
+      case NpbKernel::kLU:
+        // Wavefront sweeps: many small pencil exchanges with neighbours.
+        for (int w = 0; w < 60; ++w) {
+          co_await par.exchange((r + 1) % p, 1024);
+          co_await par.exchange((r + p - 1) % p, 1024);
+        }
+        break;
+      case NpbKernel::kMG: {
+        // V-cycle: exchanges at four grid levels plus a residual norm.
+        const std::uint32_t levels[4] = {face_bytes(130e3, p),
+                                         face_bytes(33e3, p),
+                                         face_bytes(8e3, p), 2048};
+        for (std::uint32_t bytes : levels) {
+          co_await par.exchange((r + 1) % p, bytes);
+          co_await par.exchange((r + p - 1) % p, bytes);
+        }
+        co_await par.allreduce_sum(1.0);
+        break;
+      }
+      case NpbKernel::kFT:
+        // 3-D FFT: two transposes per iteration, each a personalized
+        // all-to-all of the whole 128 MB Class A array.
+        co_await par.alltoall(static_cast<std::uint32_t>(
+            128e6 / (static_cast<double>(p) * p)));
+        co_await par.alltoall(static_cast<std::uint32_t>(
+            128e6 / (static_cast<double>(p) * p)));
+        break;
+      case NpbKernel::kIS:
+        // Bucketed key redistribution plus a histogram reduction.
+        co_await par.allreduce_sum(static_cast<double>(r));
+        co_await par.alltoall(static_cast<std::uint32_t>(
+            64e6 / (static_cast<double>(p) * p)));
+        break;
+      case NpbKernel::kCG:
+        // Inner solver iterations: dot products and partner exchanges.
+        for (int inner = 0; inner < 6; ++inner) {
+          co_await par.allreduce_sum(1.0);
+          co_await par.exchange(
+              (r + stride) % p,
+              static_cast<std::uint32_t>(
+                  70e3 / std::sqrt(static_cast<double>(p))));
+          co_await par.allreduce_sum(1.0);
+        }
+        break;
+      case NpbKernel::kEP:
+        break;  // embarrassingly parallel: compute only
+    }
+  }
+  // Verification step: global checksum.
+  co_await par.allreduce_sum(static_cast<double>(r));
+  co_await par.barrier();
+}
+
+}  // namespace
+
+const char* to_string(NpbKernel k) { return spec_of(k).name; }
+
+std::vector<NpbKernel> all_npb_kernels() {
+  return {NpbKernel::kBT, NpbKernel::kSP, NpbKernel::kLU, NpbKernel::kMG,
+          NpbKernel::kFT, NpbKernel::kIS, NpbKernel::kCG, NpbKernel::kEP};
+}
+
+double run_npb(const cluster::ClusterConfig& config, NpbKernel kernel,
+               int procs) {
+  cluster::ClusterConfig cfg = config;
+  cfg.nodes = procs;
+  if (procs <= 2) cfg.topology = cluster::ClusterConfig::Topology::kCrossbar;
+  cluster::Cluster cl(cfg);
+  const double speedup = cfg.cpu_speedup;
+  launch_spmd(cl, procs, [kernel, speedup](Par& par) -> sim::Task<> {
+    co_await run_kernel(par, kernel, speedup);
+  });
+  const sim::Duration elapsed = cl.run_to_completion();
+  return sim::to_sec(elapsed);
+}
+
+std::vector<NpbPoint> npb_speedups(const cluster::ClusterConfig& config,
+                                   NpbKernel kernel,
+                                   const std::vector<int>& proc_counts) {
+  std::vector<NpbPoint> out;
+  const double t1 = run_npb(config, kernel, 1);
+  for (int p : proc_counts) {
+    const double tp = p == 1 ? t1 : run_npb(config, kernel, p);
+    out.push_back(NpbPoint{p, tp, t1 / tp});
+  }
+  return out;
+}
+
+}  // namespace vnet::apps

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/config.hpp"
+
+namespace vnet::apps {
+
+/// The NAS Parallel Benchmarks 2.2 (Class A) skeletons of Fig 5. Each
+/// kernel models the per-iteration computation of the real benchmark (as a
+/// calibrated CPU burn) and performs its real communication pattern through
+/// the full simulated stack: ghost-face exchanges (BT/SP), wavefront sweeps
+/// (LU), multigrid level exchanges (MG), transpose all-to-alls (FT/IS),
+/// reduction-heavy iterations (CG), and an embarrassingly parallel kernel
+/// (EP). Runs are truncated to a few iterations — the comm/compute ratio
+/// per iteration (which determines the speedup curve) is unchanged.
+enum class NpbKernel { kBT, kSP, kLU, kMG, kFT, kIS, kCG, kEP };
+
+const char* to_string(NpbKernel k);
+std::vector<NpbKernel> all_npb_kernels();
+
+/// Runs the kernel on `procs` ranks over a fresh cluster built from
+/// `config` (nodes are set to `procs`). Returns simulated seconds.
+double run_npb(const cluster::ClusterConfig& config, NpbKernel kernel,
+               int procs);
+
+/// Speedup of the kernel at `procs` relative to the single-rank run.
+struct NpbPoint {
+  int procs;
+  double seconds;
+  double speedup;
+};
+std::vector<NpbPoint> npb_speedups(const cluster::ClusterConfig& config,
+                                   NpbKernel kernel,
+                                   const std::vector<int>& proc_counts);
+
+}  // namespace vnet::apps

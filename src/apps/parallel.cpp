@@ -1,0 +1,192 @@
+#include "apps/parallel.hpp"
+
+#include <bit>
+#include <string>
+
+namespace vnet::apps {
+
+namespace {
+
+// Handler indices of the mini parallel runtime.
+constexpr std::uint8_t kCtrl = 1;  ///< barrier / reduction contribution
+constexpr std::uint8_t kData = 2;  ///< bulk data with a phase tag
+
+}  // namespace
+
+Par::Par(host::HostThread& t, std::shared_ptr<JobState> job, int rank,
+         int nranks)
+    : t_(&t), job_(std::move(job)), rank_(rank), nranks_(nranks) {}
+
+sim::Task<> Par::init() {
+  ep_ = co_await am::Endpoint::create(*t_, 0x7000 + rank_);
+  // Control messages: count arrivals per (tag), accumulate values.
+  ep_->set_handler(kCtrl, [this](am::Endpoint&, const am::Message& m) {
+    const auto tag = static_cast<std::uint32_t>(m.arg(0));
+    ++arrived_[tag];
+    values_[tag] += std::bit_cast<double>(m.arg(1));
+  });
+  ep_->set_handler(kData, [this](am::Endpoint&, const am::Message& m) {
+    ++arrived_[static_cast<std::uint32_t>(m.arg(0))];
+  });
+  job_->names[static_cast<std::size_t>(rank_)] = ep_->name();
+  while (!job_->ready()) co_await t_->sleep(30 * sim::us);
+  for (int p = 0; p < nranks_; ++p) {
+    ep_->map(static_cast<std::uint32_t>(p),
+             job_->names[static_cast<std::size_t>(p)]);
+  }
+  // One sim-level round so every rank has finished mapping before traffic.
+  co_await t_->sleep(30 * sim::us);
+}
+
+sim::Task<> Par::wait_until(std::function<bool()> pred) {
+  sim::Time spin_started = t_->engine().now();
+  while (!pred()) {
+    const std::size_t n = co_await ep_->poll(*t_, 16);
+    if (n > 0) {
+      spin_started = t_->engine().now();
+      continue;
+    }
+    if (spin_limit_ > 0 &&
+        t_->engine().now() - spin_started >= spin_limit_) {
+      // Two-phase waiting: yield the processor and sleep on the endpoint
+      // event until a message arrives (implicit co-scheduling, §6.3).
+      co_await ep_->wait_for(*t_, 2 * sim::ms);
+      spin_started = t_->engine().now();
+    } else if (spin_limit_ > 0) {
+      co_await t_->compute(300);  // brief pre-block spin: stay reactive
+    } else {
+      // Pure spinning holds the processor; model the CPU it burns in
+      // coarse chunks so competing threads really contend for it.
+      co_await t_->compute(200 * sim::us);
+    }
+  }
+}
+
+sim::Task<> Par::barrier() {
+  // Dissemination barrier: ceil(log2 n) rounds; round k signals rank
+  // (r + 2^k) mod n and waits for rank (r - 2^k) mod n.
+  const std::uint32_t gen = barrier_gen_++;
+  if (nranks_ == 1) co_return;
+  const sim::Time t0 = t_->engine().now();
+  const sim::Duration c0 = t_->ctx().cpu_used;
+  std::uint32_t round = 0;
+  for (int dist = 1; dist < nranks_; dist <<= 1, ++round) {
+    const int to = (rank_ + dist) % nranks_;
+    const std::uint32_t tag = 0x10000000u | (gen << 8) | round;
+    co_await ep_->request(*t_, static_cast<std::uint32_t>(to), kCtrl, tag, 0);
+    co_await wait_until([this, tag] {
+      auto it = arrived_.find(tag);
+      return it != arrived_.end() && it->second >= 1;
+    });
+    arrived_.erase(tag);
+    values_.erase(tag);
+  }
+  comm_time_ += t_->engine().now() - t0;
+  comm_cpu_ += t_->ctx().cpu_used - c0;
+}
+
+sim::Task<double> Par::allreduce_sum(double value) {
+  // Binomial-tree reduce to rank 0, then tree broadcast back down.
+  const std::uint32_t gen = reduce_gen_++;
+  double acc = value;
+  if (nranks_ == 1) co_return acc;
+
+  int dist = 1;
+  while (dist < nranks_) {
+    if (rank_ % (2 * dist) == 0) {
+      if (rank_ + dist < nranks_) {
+        const std::uint32_t tag = 0x20000000u | (gen << 8) |
+                                  static_cast<std::uint32_t>(rank_ + dist);
+        co_await wait_until([this, tag] { return arrived_[tag] >= 1; });
+        acc += values_[tag];
+        arrived_.erase(tag);
+        values_.erase(tag);
+      }
+    } else if (rank_ % (2 * dist) == dist) {
+      const std::uint32_t tag =
+          0x20000000u | (gen << 8) | static_cast<std::uint32_t>(rank_);
+      co_await ep_->request(*t_, static_cast<std::uint32_t>(rank_ - dist),
+                            kCtrl, tag, std::bit_cast<std::uint64_t>(acc));
+      break;  // contributed; wait for the broadcast
+    }
+    dist <<= 1;
+  }
+
+  // Broadcast the total from rank 0 along the reversed tree.
+  const std::uint32_t btag = 0x30000000u | (gen << 8);
+  if (rank_ != 0) {
+    co_await wait_until([this, btag] { return arrived_[btag] >= 1; });
+    acc = values_[btag];
+    arrived_.erase(btag);
+    values_.erase(btag);
+  }
+  // Highest power of two at or below my subtree span.
+  int top = 1;
+  while (top < nranks_) top <<= 1;
+  for (int d = top >> 1; d >= 1; d >>= 1) {
+    if (rank_ % (2 * d) == 0 && rank_ + d < nranks_) {
+      co_await ep_->request(*t_, static_cast<std::uint32_t>(rank_ + d), kCtrl,
+                            btag, std::bit_cast<std::uint64_t>(acc));
+    }
+  }
+  co_return acc;
+}
+
+sim::Task<> Par::send_to(int peer, std::uint32_t bytes, std::uint32_t tag) {
+  co_await ep_->request_bulk(*t_, static_cast<std::uint32_t>(peer), kData,
+                             bytes, nullptr, tag);
+}
+
+sim::Task<> Par::recv_count(std::uint32_t tag, std::uint64_t count) {
+  co_await wait_until([this, tag, count] { return arrived_[tag] >= count; });
+  arrived_.erase(tag);
+}
+
+sim::Task<> Par::exchange(int peer, std::uint32_t bytes) {
+  const sim::Time t0 = t_->engine().now();
+  const sim::Duration c0 = t_->ctx().cpu_used;
+  const std::uint32_t tag = phase_tag(0x1);
+  co_await send_to(peer, bytes, tag);
+  co_await recv_count(tag, 1);
+  comm_time_ += t_->engine().now() - t0;
+  comm_cpu_ += t_->ctx().cpu_used - c0;
+}
+
+sim::Task<> Par::alltoall(std::uint32_t bytes_per_pair) {
+  const sim::Time t0 = t_->engine().now();
+  const sim::Duration c0 = t_->ctx().cpu_used;
+  const std::uint32_t tag = phase_tag(0x2);
+  // Rotated schedule so traffic spreads instead of hot-spotting rank 0.
+  for (int i = 1; i < nranks_; ++i) {
+    const int to = (rank_ + i) % nranks_;
+    co_await send_to(to, bytes_per_pair, tag);
+  }
+  co_await recv_count(tag, static_cast<std::uint64_t>(nranks_ - 1));
+  comm_time_ += t_->engine().now() - t0;
+  comm_cpu_ += t_->ctx().cpu_used - c0;
+}
+
+sim::Task<> Par::finish() {
+  if (ep_ != nullptr) {
+    co_await ep_->destroy(*t_);
+    ep_.reset();
+  }
+}
+
+void launch_spmd(cluster::Cluster& cl, int ranks,
+                 std::function<sim::Task<>(Par&)> body, int first_node,
+                 int node_stride, const char* name_prefix) {
+  auto job = std::make_shared<JobState>(ranks);
+  for (int r = 0; r < ranks; ++r) {
+    const int node = (first_node + r * node_stride) % cl.size();
+    cl.spawn_thread(node, std::string(name_prefix) + std::to_string(r),
+                    [job, r, ranks, body](host::HostThread& t) -> sim::Task<> {
+                      Par par(t, job, r, ranks);
+                      co_await par.init();
+                      co_await body(par);
+                      ++job->finished;
+                    });
+  }
+}
+
+}  // namespace vnet::apps

@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "am/endpoint.hpp"
+#include "cluster/cluster.hpp"
+#include "sim/task.hpp"
+
+namespace vnet::apps {
+
+/// Shared bring-up state for one SPMD job (out-of-band rendezvous for
+/// endpoint names, §3.1 allows any rendezvous mechanism).
+struct JobState {
+  explicit JobState(int n) : names(static_cast<std::size_t>(n)) {}
+  std::vector<am::Name> names;
+  std::uint64_t finished = 0;
+  bool ready() const {
+    for (const auto& n : names) {
+      if (!n.valid()) return false;
+    }
+    return true;
+  }
+};
+
+/// Per-rank handle of an SPMD parallel program: one endpoint in a fully
+/// connected virtual network plus message-based collectives (barrier,
+/// allreduce, pairwise exchange, all-to-all) in the style of the Split-C /
+/// MPI layers the paper runs over Active Messages (§2, Fig 1).
+class Par {
+ public:
+  Par(host::HostThread& t, std::shared_ptr<JobState> job, int rank,
+      int nranks);
+
+  /// Creates the endpoint, publishes its name, and maps every peer.
+  /// Must complete on all ranks before any communication.
+  sim::Task<> init();
+
+  int rank() const { return rank_; }
+  int size() const { return nranks_; }
+  host::HostThread& thread() { return *t_; }
+  am::Endpoint& endpoint() { return *ep_; }
+
+  /// Pure computation for `d` (time-shared with other threads).
+  sim::Task<> compute(sim::Duration d) { return t_->compute(d); }
+
+  /// Drains pending messages without waiting (a library "progress engine"
+  /// call, as polled inside long computation loops).
+  sim::Task<> progress() {
+    co_await ep_->poll(*t_, 16);
+  }
+
+  /// Computation interleaved with progress polls every `tile` of work, so
+  /// arrivals are absorbed and forwarded during long compute phases.
+  sim::Task<> compute_with_progress(sim::Duration d,
+                                    sim::Duration tile = 20 * sim::ms) {
+    sim::Duration rem = d;
+    while (rem > 0) {
+      const sim::Duration step = rem < tile ? rem : tile;
+      co_await t_->compute(step);
+      rem -= step;
+      co_await progress();
+    }
+  }
+
+  /// Dissemination barrier over request messages.
+  sim::Task<> barrier();
+
+  /// Binomial-tree allreduce (sum of doubles).
+  sim::Task<double> allreduce_sum(double value);
+
+  /// Sends `bytes` to `peer` tagged with the current phase; the matching
+  /// receive is recv_from/recv_count.
+  sim::Task<> send_to(int peer, std::uint32_t bytes, std::uint32_t tag);
+
+  /// Waits until `count` messages with `tag` have arrived.
+  sim::Task<> recv_count(std::uint32_t tag, std::uint64_t count);
+
+  /// Pairwise exchange: send `bytes` to peer and wait for its `bytes`.
+  sim::Task<> exchange(int peer, std::uint32_t bytes);
+
+  /// Personalized all-to-all: `bytes_per_pair` to every other rank.
+  sim::Task<> alltoall(std::uint32_t bytes_per_pair);
+
+  /// Waiting policy: by default waits spin-poll (efficient for dedicated
+  /// parallel programs, §3.3). With a spin limit set, waits spin for that
+  /// long and then block — two-phase waiting, the enabling mechanism for
+  /// implicit co-scheduling in time-shared workloads (§6.3).
+  void set_spin_block(sim::Duration spin_limit) { spin_limit_ = spin_limit; }
+
+  /// Tears down the endpoint (optional; engine teardown also reclaims).
+  sim::Task<> finish();
+
+  /// Total simulated (wall) time this rank has spent inside communication
+  /// operations (barrier / allreduce / exchange / alltoall / waits).
+  sim::Duration comm_time() const { return comm_time_; }
+
+  /// CPU time consumed inside communication operations — unlike wall time,
+  /// this stays nearly constant when the application is time-shared
+  /// (§6.3: "the time spent in communication remains nearly constant").
+  sim::Duration comm_cpu_time() const { return comm_cpu_; }
+
+ private:
+  sim::Task<> wait_until(std::function<bool()> pred);
+  std::uint32_t phase_tag(std::uint32_t kind) {
+    return (phase_counter_++ << 4) | kind;
+  }
+
+  host::HostThread* t_;
+  std::shared_ptr<JobState> job_;
+  int rank_;
+  int nranks_;
+  std::unique_ptr<am::Endpoint> ep_;
+  sim::Duration spin_limit_ = 0;  // 0 = pure spin
+
+  // tag -> messages arrived / value accumulator
+  std::unordered_map<std::uint64_t, std::uint64_t> arrived_;
+  std::unordered_map<std::uint64_t, double> values_;
+
+  sim::Duration comm_time_ = 0;
+  sim::Duration comm_cpu_ = 0;
+  std::uint32_t barrier_gen_ = 0;
+  std::uint32_t reduce_gen_ = 0;
+  std::uint32_t phase_counter_ = 1;
+};
+
+/// Launches an SPMD job on the cluster: rank i runs on node
+/// (first_node + i*node_stride) % cluster.size(). `body` runs after init().
+void launch_spmd(cluster::Cluster& cl, int ranks,
+                 std::function<sim::Task<>(Par&)> body, int first_node = 0,
+                 int node_stride = 1, const char* name_prefix = "rank");
+
+}  // namespace vnet::apps

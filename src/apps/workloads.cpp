@@ -1,0 +1,325 @@
+#include "apps/workloads.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "am/endpoint.hpp"
+#include <cstdio>
+
+#include "cluster/cluster.hpp"
+
+namespace vnet::apps {
+
+namespace {
+
+constexpr std::uint8_t kRequestHandler = 1;
+constexpr std::uint8_t kReplyHandler = 2;
+
+struct SharedState {
+  explicit SharedState(int clients)
+      : server_names(static_cast<std::size_t>(clients)),
+        replies(static_cast<std::size_t>(clients), 0),
+        window_open(false) {}
+
+  std::vector<am::Name> server_names;  // [client] -> its server endpoint
+  std::vector<std::uint64_t> replies;  // replies received per client
+  bool window_open;
+  bool clients_stop = false;
+  bool servers_stop = false;
+  sim::Histogram rtt_us;
+
+  bool names_ready() const {
+    for (const auto& n : server_names) {
+      if (!n.valid()) return false;
+    }
+    return true;
+  }
+};
+
+/// Client: stream requests with a full credit window until told to stop.
+sim::Task<> client_body(host::HostThread& t, SharedState& st, int id,
+                        std::uint32_t bytes, bool collect_rtt,
+                        bool flow_control, int burst_size,
+                        sim::Duration burst_gap) {
+  auto ep = co_await am::Endpoint::create(t, 0xc0 + id);
+  ep->set_flow_control(flow_control);
+  ep->set_handler(kReplyHandler, [&st, &t, id, collect_rtt](
+                                     am::Endpoint&, const am::Message& m) {
+    if (st.window_open) {
+      ++st.replies[static_cast<std::size_t>(id)];
+      if (collect_rtt) {
+        st.rtt_us.add(sim::to_usec(t.engine().now() -
+                                   static_cast<sim::Time>(m.arg(0))));
+      }
+    }
+  });
+  while (!st.names_ready()) co_await t.sleep(50 * sim::us);
+  ep->map(0, st.server_names[static_cast<std::size_t>(id)]);
+
+  int in_burst = 0;
+  while (!st.clients_stop) {
+    const auto now = static_cast<std::uint64_t>(t.engine().now());
+    if (bytes == 0) {
+      co_await ep->request(t, 0, kRequestHandler, now);
+    } else {
+      co_await ep->request_bulk(t, 0, kRequestHandler, bytes, nullptr, now);
+    }
+    co_await ep->poll(t, 8);
+    if (burst_size > 0 && ++in_burst >= burst_size) {
+      in_burst = 0;
+      co_await t.sleep(burst_gap);  // computation phase between bursts
+    }
+  }
+  // Drain what we can, but do not wait forever for stuck messages.
+  const sim::Time deadline = t.engine().now() + 50 * sim::ms;
+  while (ep->credits_in_use() > 0 && t.engine().now() < deadline) {
+    co_await ep->poll(t, 16);
+    co_await t.compute(500);
+  }
+}
+
+/// Installs the serving handler: echo the client's timestamp back.
+void install_server_handler(am::Endpoint& ep) {
+  ep.set_handler(kRequestHandler, [](am::Endpoint&, const am::Message& m) {
+    m.reply(kReplyHandler, {m.arg(0)});
+  });
+}
+
+/// OneVN / ST server: one thread polling `eps` round-robin.
+sim::Task<> polling_server_body(host::HostThread& t, SharedState& st,
+                                std::vector<std::unique_ptr<am::Endpoint>>&
+                                    eps, sim::Duration work) {
+  while (!st.servers_stop) {
+    std::size_t handled = 0;
+    for (auto& ep : eps) {
+      const std::size_t n = co_await ep->poll(t, 32);
+      if (n > 0 && work > 0) co_await t.compute(n * work);
+      handled += n;
+    }
+    if (handled == 0) co_await t.compute(200);
+  }
+}
+
+/// MT server: one event-driven thread per endpoint (§3.3: threads sleep
+/// until messages arrive).
+sim::Task<> mt_server_body(host::HostThread& t, SharedState& st,
+                           am::Endpoint& ep, sim::Duration work) {
+  ep.set_event_mask(am::kEventReceive);
+  while (!st.servers_stop) {
+    // Process requests until none remain (§6.4); spin briefly before
+    // sleeping so back-to-back arrivals do not each pay a thread wake.
+    std::size_t handled = co_await ep.poll(t, 32);
+    if (handled > 0 && work > 0) co_await t.compute(handled * work);
+    if (handled > 0) continue;
+    bool found = false;
+    for (int spin = 0; spin < 4 && !found; ++spin) {
+      co_await t.compute(2 * sim::us);
+      found = ep.poll_would_find_work();
+    }
+    if (!found) co_await ep.wait_for(t, 1 * sim::ms);
+  }
+}
+
+}  // namespace
+
+ContentionParams::ContentionParams() : base(cluster::NowConfig(2)) {}
+
+const char* to_string(ContentionParams::Mode m) {
+  switch (m) {
+    case ContentionParams::Mode::kOneVN:
+      return "OneVN";
+    case ContentionParams::Mode::kSingleThread:
+      return "ST";
+    case ContentionParams::Mode::kMultiThread:
+      return "MT";
+  }
+  return "?";
+}
+
+double ContentionResult::min_client_per_sec() const {
+  double v = per_client_per_sec.empty() ? 0 : per_client_per_sec[0];
+  for (double x : per_client_per_sec) v = std::min(v, x);
+  return v;
+}
+
+double ContentionResult::max_client_per_sec() const {
+  double v = 0;
+  for (double x : per_client_per_sec) v = std::max(v, x);
+  return v;
+}
+
+ContentionResult run_contention(const ContentionParams& params) {
+  const int k = params.clients;
+  cluster::ClusterConfig cfg = params.base;
+  cfg.nodes = k + 1;  // node 0 = server; nodes 1..k = clients
+  if (cfg.nodes > 8) {
+    cfg.topology = cluster::ClusterConfig::Topology::kFatTree;
+    cfg.hosts_per_leaf = 5;
+    cfg.spines = 3;
+  } else {
+    cfg.topology = cluster::ClusterConfig::Topology::kCrossbar;
+  }
+  cfg.nic.endpoint_frames = params.server_frames;
+
+  cluster::Cluster cl(cfg);
+  cl.host(0).driver().set_policy(params.replacement);
+  auto st = std::make_unique<SharedState>(k);
+
+  // Keep server-side endpoints alive for the whole run.
+  auto server_eps =
+      std::make_unique<std::vector<std::unique_ptr<am::Endpoint>>>();
+
+  switch (params.mode) {
+    case ContentionParams::Mode::kOneVN:
+      cl.spawn_thread(0, "server", [&st, &server_eps, k, &params](
+                                       host::HostThread& t) -> sim::Task<> {
+        auto ep = co_await am::Endpoint::create(t, 0x5eef);
+        install_server_handler(*ep);
+        for (int c = 0; c < k; ++c) {
+          st->server_names[static_cast<std::size_t>(c)] = ep->name();
+        }
+        server_eps->push_back(std::move(ep));
+        co_await polling_server_body(t, *st, *server_eps,
+                                     params.server_work);
+      });
+      break;
+    case ContentionParams::Mode::kSingleThread:
+      cl.spawn_thread(0, "server", [&st, &server_eps, k, &params](
+                                       host::HostThread& t) -> sim::Task<> {
+        for (int c = 0; c < k; ++c) {
+          auto ep = co_await am::Endpoint::create(t, 0x100 + c);
+          install_server_handler(*ep);
+          st->server_names[static_cast<std::size_t>(c)] = ep->name();
+          server_eps->push_back(std::move(ep));
+        }
+        co_await polling_server_body(t, *st, *server_eps,
+                                     params.server_work);
+      });
+      break;
+    case ContentionParams::Mode::kMultiThread:
+      for (int c = 0; c < k; ++c) {
+        cl.spawn_thread(0, "server" + std::to_string(c),
+                        [&st, &server_eps, c, &params](
+                            host::HostThread& t) -> sim::Task<> {
+                          auto ep =
+                              co_await am::Endpoint::create(t, 0x100 + c);
+                          install_server_handler(*ep);
+                          st->server_names[static_cast<std::size_t>(c)] =
+                              ep->name();
+                          am::Endpoint& ref = *ep;
+                          server_eps->push_back(std::move(ep));
+                          co_await mt_server_body(t, *st, ref,
+                                                  params.server_work);
+                        });
+      }
+      break;
+  }
+
+  for (int c = 0; c < k; ++c) {
+    cl.spawn_thread(c + 1, "client" + std::to_string(c),
+                    [&st, c, &params](host::HostThread& t) -> sim::Task<> {
+                      co_await client_body(t, *st, c, params.request_bytes,
+                                           params.collect_rtt,
+                                           params.flow_control,
+                                           params.burst_size,
+                                           params.burst_gap);
+                    });
+  }
+
+  // Measurement schedule.
+  ContentionResult result;
+  auto& driver_stats = cl.host(0).driver();
+  auto& nic = cl.host(0).nic();
+  std::uint64_t remaps_at_open = 0, qfull_at_open = 0, notres_at_open = 0,
+                retrans_at_open = 0;
+
+  cl.engine().after(params.warmup, [&] {
+    st->window_open = true;
+    remaps_at_open = driver_stats.stats().remaps;
+    qfull_at_open = nic.stats().nacks_sent_by_reason[static_cast<int>(
+        lanai::NackReason::kQueueFull)];
+    notres_at_open = nic.stats().nacks_sent_by_reason[static_cast<int>(
+        lanai::NackReason::kNotResident)];
+    retrans_at_open = 0;
+    for (int n = 0; n <= params.clients; ++n) {
+      retrans_at_open += cl.host(n).nic().stats().retransmissions;
+    }
+  });
+  cl.engine().after(params.warmup + params.window, [&] {
+    st->window_open = false;
+    st->clients_stop = true;
+    const double secs = sim::to_sec(params.window);
+    double total = 0;
+    for (int c = 0; c < k; ++c) {
+      const double rate =
+          static_cast<double>(st->replies[static_cast<std::size_t>(c)]) /
+          secs;
+      result.per_client_per_sec.push_back(rate);
+      total += rate;
+    }
+    result.aggregate_per_sec = total;
+    result.aggregate_mb_per_sec =
+        total * params.request_bytes / (1024.0 * 1024.0);
+    result.remaps_per_sec =
+        static_cast<double>(driver_stats.stats().remaps - remaps_at_open) /
+        secs;
+    result.server_write_faults = driver_stats.stats().write_faults;
+    result.server_proxy_faults = driver_stats.stats().proxy_faults;
+    result.queue_full_nacks =
+        nic.stats().nacks_sent_by_reason[static_cast<int>(
+            lanai::NackReason::kQueueFull)] -
+        qfull_at_open;
+    result.not_resident_nacks =
+        nic.stats().nacks_sent_by_reason[static_cast<int>(
+            lanai::NackReason::kNotResident)] -
+        notres_at_open;
+    std::uint64_t retrans = 0;
+    for (int n = 0; n <= params.clients; ++n) {
+      retrans += cl.host(n).nic().stats().retransmissions;
+    }
+    result.retransmissions = retrans - retrans_at_open;
+  });
+  cl.engine().after(params.warmup + params.window + 60 * sim::ms,
+                    [&] { st->servers_stop = true; });
+
+  if (params.debug_trace) {
+    for (int msi = 1; msi < 400; ++msi) {
+      cl.engine().at(msi * sim::ms, [&cl, &st, &nic] {
+        std::uint64_t replies = 0;
+        for (auto r : st->replies) replies += r;
+        std::fprintf(stderr,
+                     "[%4lldms] events=%llu replies=%llu remaps=%llu "
+                     "notres=%llu retrans=%llu timeouts=%llu pend=%zu\n",
+                     static_cast<long long>(cl.engine().now() / sim::ms),
+                     static_cast<unsigned long long>(
+                         cl.engine().events_processed()),
+                     static_cast<unsigned long long>(replies),
+                     static_cast<unsigned long long>(
+                         cl.host(0).driver().stats().remaps),
+                     static_cast<unsigned long long>(
+                         nic.stats().nacks_sent_by_reason[static_cast<int>(
+                             lanai::NackReason::kNotResident)]),
+                     static_cast<unsigned long long>(
+                         nic.stats().retransmissions),
+                     static_cast<unsigned long long>(nic.stats().timeouts),
+                     cl.engine().pending_events());
+        std::fprintf(stderr,
+                     "        remapq=%zu unloads=%zu busych=%d reqd=%zu "
+                     "drain=%zu evict=%llu resident=%d\n",
+                     cl.host(0).driver().remap_queue_size(),
+                     nic.pending_unload_count(), nic.busy_channel_count(),
+                     nic.resident_requested_count(), nic.draining_count(),
+                     static_cast<unsigned long long>(
+                         cl.host(0).driver().stats().evictions),
+                     cl.host(0).driver().resident_count());
+      });
+    }
+  }
+
+  cl.run_to_completion();
+  result.rtt_us = st->rtt_us;
+  return result;
+}
+
+}  // namespace vnet::apps

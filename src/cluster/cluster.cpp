@@ -1,0 +1,45 @@
+#include "cluster/cluster.hpp"
+
+namespace vnet::cluster {
+
+Cluster::Cluster(const ClusterConfig& config)
+    : config_(config), engine_(config.seed) {
+  switch (config_.topology) {
+    case ClusterConfig::Topology::kCrossbar:
+      fabric_ = myrinet::Fabric::crossbar(engine_, config_.nodes,
+                                          config_.fabric);
+      break;
+    case ClusterConfig::Topology::kFatTree:
+      fabric_ = myrinet::Fabric::fat_tree(engine_, config_.nodes,
+                                          config_.hosts_per_leaf,
+                                          config_.spines, config_.fabric);
+      break;
+  }
+  hosts_.reserve(static_cast<std::size_t>(config_.nodes));
+  for (int n = 0; n < config_.nodes; ++n) {
+    hosts_.push_back(std::make_unique<host::Host>(
+        engine_, *fabric_, n, config_.host, config_.nic));
+    hosts_.back()->start();
+  }
+}
+
+sim::Process Cluster::thread_wrapper(host::Host& h, std::string name,
+                                     ThreadBody body) {
+  host::HostThread t(h, std::move(name));
+  co_await body(t);
+  ++completed_;
+}
+
+void Cluster::spawn_thread(int node, std::string name, ThreadBody body) {
+  ++spawned_;
+  engine_.spawn(thread_wrapper(host(node), std::move(name), std::move(body)));
+}
+
+sim::Duration Cluster::run_to_completion() {
+  const sim::Time t0 = engine_.now();
+  while (!all_threads_done() && engine_.step()) {
+  }
+  return engine_.now() - t0;
+}
+
+}  // namespace vnet::cluster

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/config.hpp"
+#include "host/host.hpp"
+#include "myrinet/fabric.hpp"
+#include "sim/engine.hpp"
+#include "sim/process.hpp"
+#include "sim/task.hpp"
+
+namespace vnet::cluster {
+
+/// A complete simulated cluster: engine, fabric, and N hosts (each with a
+/// NIC and segment driver), built from a ClusterConfig and started.
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+
+  /// Destroys all simulation processes *before* the hosts and fabric they
+  /// reference.
+  ~Cluster() { engine_.shutdown(); }
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  sim::Engine& engine() { return engine_; }
+  myrinet::Fabric& fabric() { return *fabric_; }
+  host::Host& host(int n) { return *hosts_[static_cast<std::size_t>(n)]; }
+  int size() const { return static_cast<int>(hosts_.size()); }
+  const ClusterConfig& config() const { return config_; }
+
+  /// Spawns a user thread running `body` on `node`. The thread's CPU use
+  /// is time-shared with every other thread on that host.
+  using ThreadBody = std::function<sim::Task<>(host::HostThread&)>;
+  void spawn_thread(int node, std::string name, ThreadBody body);
+
+  /// Number of spawned threads that have finished.
+  std::uint64_t completed_threads() const { return completed_; }
+  std::uint64_t spawned_threads() const { return spawned_; }
+  bool all_threads_done() const { return completed_ == spawned_; }
+
+  /// Runs the simulation until every spawned thread has completed (or the
+  /// event queue goes idle). Returns simulated time elapsed.
+  sim::Duration run_to_completion();
+
+ private:
+  sim::Process thread_wrapper(host::Host& h, std::string name,
+                              ThreadBody body);
+
+  ClusterConfig config_;
+  sim::Engine engine_;
+  std::unique_ptr<myrinet::Fabric> fabric_;
+  std::vector<std::unique_ptr<host::Host>> hosts_;
+  std::uint64_t spawned_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace vnet::cluster

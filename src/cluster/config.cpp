@@ -1,0 +1,73 @@
+#include "cluster/config.hpp"
+
+namespace vnet::cluster {
+
+ClusterConfig NowConfig(int nodes) {
+  ClusterConfig c;
+  c.nodes = nodes;
+  // Small clusters fit one switch; at scale use the paper's fat-tree-like
+  // topology (5 hosts per leaf, 3 spines -> 23 switches at 100 nodes).
+  if (nodes > 8) {
+    c.topology = ClusterConfig::Topology::kFatTree;
+    c.hosts_per_leaf = 5;
+    c.spines = 3;
+  }
+  // NicConfig and HostConfig defaults *are* the calibrated NOW values.
+  return c;
+}
+
+ClusterConfig GamConfig(int nodes) {
+  ClusterConfig c = NowConfig(nodes);
+  // First-generation firmware: a single endpoint frame mapped to the one
+  // parallel program, no transport protocol, no protection, no defensive
+  // checks (§2, §6.1).
+  c.nic.reliable_transport = false;
+  c.nic.defensive_checks = false;
+  c.nic.endpoint_frames = 1;
+  c.host.eager_binding = true;  // the one endpoint is pinned at startup
+  // First-generation firmware issued smaller, less efficient DMA bursts:
+  // it delivered only 38 MB/s for 8 KB messages over the same SBUS (§6.1).
+  c.nic.sbus_write_ns_per_byte = 1000.0 / 40.0;
+  c.nic.max_packet_payload = 2048;
+  return c;
+}
+
+ClusterConfig Sp2Config(int nodes) {
+  ClusterConfig c;
+  c.nodes = nodes;
+  c.topology = ClusterConfig::Topology::kCrossbar;  // full-bisection switch
+  // The SP-2's MPI/MPL stack: much higher per-message host overhead and a
+  // slower effective per-byte path (~35 MB/s end-to-end at the time), but
+  // a full-bisection multistage switch.
+  c.host.send_fixed = 18 * sim::us;
+  c.host.recv_fixed = 18 * sim::us;
+  c.fabric.link.ns_per_byte = 1000.0 / 150.0;
+  c.nic.sbus_write_ns_per_byte = 1000.0 / 35.0;
+  c.nic.sbus_read_ns_per_byte = 1000.0 / 35.0;
+  c.nic.ns_per_instruction = 40.0;  // slower adapter microcontroller
+  c.cpu_speedup = 2.3;              // 120 MHz P2SC
+  return c;
+}
+
+ClusterConfig OriginConfig(int nodes) {
+  ClusterConfig c;
+  c.nodes = nodes;
+  c.topology = ClusterConfig::Topology::kCrossbar;
+  // ccNUMA: communication is loads/stores through the directory protocol —
+  // very low per-message cost and high link bandwidth.
+  c.host.send_fixed = 1200 * sim::ns;
+  c.host.recv_fixed = 1200 * sim::ns;
+  c.host.pio_write_word = 60 * sim::ns;
+  c.host.pio_read_word = 120 * sim::ns;
+  c.host.pio_block_read = 250 * sim::ns;
+  c.fabric.link.ns_per_byte = 1000.0 / 600.0;
+  c.fabric.sw.cut_through = 50 * sim::ns;
+  c.nic.ns_per_instruction = 4.0;  // "NIC" work is hardware
+  c.nic.sbus_write_ns_per_byte = 1000.0 / 300.0;
+  c.nic.sbus_read_ns_per_byte = 1000.0 / 300.0;
+  c.nic.sbus_dma_setup = 300 * sim::ns;
+  c.cpu_speedup = 2.6;  // 195 MHz R10000
+  return c;
+}
+
+}  // namespace vnet::cluster

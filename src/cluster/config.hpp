@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+
+#include "host/config.hpp"
+#include "lanai/config.hpp"
+#include "myrinet/fabric.hpp"
+
+namespace vnet::cluster {
+
+/// Everything needed to build a simulated cluster.
+struct ClusterConfig {
+  int nodes = 2;
+
+  enum class Topology { kCrossbar, kFatTree };
+  Topology topology = Topology::kCrossbar;
+  int hosts_per_leaf = 5;
+  int spines = 3;
+
+  myrinet::FabricParams fabric;
+  lanai::NicConfig nic;
+  host::HostConfig host;
+  std::uint64_t seed = 1;
+
+  /// Relative processor speed vs the NOW's 167 MHz UltraSPARC-1; used by
+  /// the application kernels to scale compute phases (the SP-2's P2SC and
+  /// the Origin's R10000 are roughly 2.5x faster, which is exactly why
+  /// their speedup curves suffer more from communication).
+  double cpu_speedup = 1.0;
+};
+
+/// The calibrated Berkeley-NOW configuration (§2): virtual-network (AM-II)
+/// firmware, 8 endpoint frames, Myrinet fat-tree for larger node counts.
+/// All Fig 3–7 benchmarks build on this.
+ClusterConfig NowConfig(int nodes);
+
+/// The first-generation single-program Active Message baseline (GAM) used
+/// as the comparison point in Figs 3 and 4: one endpoint frame, no
+/// transport protocol, no protection.
+ClusterConfig GamConfig(int nodes);
+
+/// Machine models for the NPB cross-machine comparison (Fig 5). These keep
+/// the same skeleton kernels but change the communication cost parameters:
+/// the SP-2's MPL stack has much higher per-message overhead; the Origin
+/// 2000's ccNUMA interconnect is faster than the NOW on both counts.
+ClusterConfig Sp2Config(int nodes);
+ClusterConfig OriginConfig(int nodes);
+
+}  // namespace vnet::cluster

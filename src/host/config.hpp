@@ -1,0 +1,85 @@
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace vnet::host {
+
+/// Cost model for the simulated 167 MHz UltraSPARC-1 host running Solaris
+/// 2.6 (§2). Host-side overheads (o_s, o_r in Fig 3), thread scheduling,
+/// and segment-driver costs all come from here; the values are calibrated
+/// against the paper's measurements (see EXPERIMENTS.md).
+struct HostConfig {
+  // ----- processor scheduling -----
+  /// Time-sharing quantum of the local scheduler.
+  sim::Duration time_quantum = 2 * sim::ms;
+  /// Cost of switching the CPU between threads.
+  sim::Duration context_switch = 5 * sim::us;
+  /// Fixed kernel cost to wake a blocked thread (on top of any run-queue
+  /// delay). This is what makes the MT server pay per message when its
+  /// threads sleep between arrivals (§6.4).
+  sim::Duration thread_wake_latency = 8 * sim::us;
+
+  // ----- programmed I/O to NIC SRAM (uncached, across the SBUS) -----
+  /// Writing one 8-byte word into a resident endpoint.
+  sim::Duration pio_write_word = 220 * sim::ns;
+  /// Reading one 8-byte word from a resident endpoint (uncached load).
+  sim::Duration pio_read_word = 300 * sim::ns;
+  /// Reading an entire 64-byte receive descriptor with a single SPARC VIS
+  /// block load (§6.1: this is why the virtual-network o_r is *smaller*
+  /// than GAM's word-at-a-time reads).
+  sim::Duration pio_block_read = 1600 * sim::ns;
+
+  // ----- cached host memory (non-resident endpoints) -----
+  /// Polling a non-resident endpoint in cacheable host memory (§6.4: with
+  /// 96 frames, polling resident-but-uncached endpoints costs *more* than
+  /// polling non-resident cacheable ones).
+  sim::Duration mem_poll = 80 * sim::ns;
+  sim::Duration mem_write_word = 40 * sim::ns;
+
+  // ----- host-side messaging layer costs (beyond the PIO traffic) -----
+  /// Fixed library cost per send (argument marshalling, credit check).
+  sim::Duration send_fixed = 700 * sim::ns;
+  /// Fixed library cost per received message (handler dispatch).
+  sim::Duration recv_fixed = 700 * sim::ns;
+  /// Words of descriptor written per virtual-network send (bigger
+  /// descriptors than GAM: §6.1 attributes the larger o_s to this).
+  int send_descriptor_words = 10;
+  /// Words per GAM send descriptor.
+  int gam_send_descriptor_words = 5;
+  /// GAM reads descriptors word-at-a-time instead of block loads.
+  bool use_block_loads = true;
+  /// Per-byte host cost of staging a bulk payload into/out of the pinned
+  /// communication region (the library bcopy around medium messages).
+  double bulk_copy_ns_per_byte = 11.0;
+  /// Synchronization cost per operation on a *shared* endpoint (§3.3);
+  /// exclusive endpoints skip it.
+  sim::Duration shared_lock_cost = 300 * sim::ns;
+
+  // ----- segment driver (§4.2) -----
+  /// Trap + driver entry/exit for an endpoint page fault.
+  sim::Duration fault_overhead = 20 * sim::us;
+  /// Driver work to queue a re-mapping request for the background thread.
+  sim::Duration remap_schedule_overhead = 5 * sim::us;
+  /// Kernel CPU consumed by the background thread per re-mapping (page
+  /// table updates, driver/NI protocol messages); the DMA time of the
+  /// 8 KB endpoint image is charged by the NIC on top of this.
+  sim::Duration remap_kernel_work = 60 * sim::us;
+  /// Period between background-thread scans when work is pending.
+  sim::Duration remap_scan_period = 2 * sim::ms;
+  /// Latency of a major fault on an endpoint paged out to disk.
+  sim::Duration disk_fault_latency = 9 * sim::ms;
+
+  /// Bind endpoints to NIC frames at creation time and wait for residency
+  /// (how a first-generation, single-program interface like GAM operates:
+  /// the program's one endpoint is pinned at startup). Virtual networks
+  /// bind on demand instead.
+  bool eager_binding = false;
+
+  /// Ablation A (§6.4.1): when false, the on-host r/w state is removed and
+  /// a write fault blocks the faulting thread synchronously for the whole
+  /// upload, reproducing the original design whose single-threaded servers
+  /// "fell off sharply" once re-mapping began.
+  bool async_write_faults = true;
+};
+
+}  // namespace vnet::host

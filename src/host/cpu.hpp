@@ -1,0 +1,117 @@
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "host/config.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace vnet::host {
+
+/// Identity of a logical thread for scheduling/accounting purposes.
+struct ThreadCtx {
+  std::string name;
+  bool kernel = false;          ///< kernel threads preempt user threads
+  sim::Duration cpu_used = 0;   ///< accumulated CPU time
+  std::uint64_t dispatches = 0;
+};
+
+/// One time-shared processor with a two-level (kernel > user) round-robin
+/// run queue, quantum slicing, and context-switch costs — the local Solaris
+/// scheduler that virtual networks must adapt to (§6.3 relies on exactly
+/// this: implicit co-scheduling through conventional local schedulers).
+class Cpu {
+  struct AcquireAwaiter {
+    Cpu& cpu;
+    bool kernel;
+    bool await_ready() noexcept {
+      if (!cpu.busy_) {
+        cpu.busy_ = true;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      (kernel ? cpu.kernel_q_ : cpu.user_q_).push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+ public:
+  Cpu(sim::Engine& engine, const HostConfig& config)
+      : engine_(&engine), config_(&config) {}
+
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  /// Charges `d` of CPU time to `t`, sharing the processor with all other
+  /// runnable threads at quantum granularity.
+  sim::Task<> run(ThreadCtx& t, sim::Duration d) {
+    sim::Duration rem = d;
+    while (rem > 0) {
+      co_await acquire(t.kernel);
+      if (last_ != &t) {
+        // Context switch: charged to the incoming thread's wall time.
+        co_await engine_->delay(config_->context_switch);
+        last_ = &t;
+        ++t.dispatches;
+      }
+      const sim::Duration slice = preempt_pending()
+                                      ? std::min(config_->time_quantum, rem)
+                                      : rem;
+      co_await engine_->delay(slice);
+      t.cpu_used += slice;
+      rem -= slice;
+      release();
+    }
+  }
+
+  /// Charges the fixed wake-up cost after a thread unblocks (§3.3 events).
+  /// Threads waking from sleep get a priority boost (as in Solaris TS):
+  /// this is the local-scheduler behaviour implicit co-scheduling rides on
+  /// (§6.3) — the rank with a newly-arrived message runs promptly.
+  sim::Task<> wake(ThreadCtx& t) {
+    const bool was_kernel = t.kernel;
+    t.kernel = true;
+    co_await run(t, config_->thread_wake_latency);
+    t.kernel = was_kernel;
+  }
+
+  /// Threads currently waiting for the processor.
+  std::size_t runnable_waiters() const {
+    return kernel_q_.size() + user_q_.size();
+  }
+  bool busy() const { return busy_; }
+
+ private:
+  bool preempt_pending() const { return runnable_waiters() > 0; }
+
+  AcquireAwaiter acquire(bool kernel) { return AcquireAwaiter{*this, kernel}; }
+
+  void release() {
+    if (!kernel_q_.empty()) {
+      auto h = kernel_q_.front();
+      kernel_q_.pop_front();
+      engine_->post(h);  // hand-off: busy_ stays true
+    } else if (!user_q_.empty()) {
+      auto h = user_q_.front();
+      user_q_.pop_front();
+      engine_->post(h);
+    } else {
+      busy_ = false;
+    }
+  }
+
+  sim::Engine* engine_;
+  const HostConfig* config_;
+  bool busy_ = false;
+  const ThreadCtx* last_ = nullptr;
+  std::deque<std::coroutine_handle<>> kernel_q_;
+  std::deque<std::coroutine_handle<>> user_q_;
+};
+
+}  // namespace vnet::host

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace vnet::lanai {
+
+/// Instruction-cost and resource parameters of the simulated LANai 4.3
+/// network interface (§2: 37.5 MHz embedded processor, 1 MB SRAM, two
+/// network DMA engines and a single SBUS DMA engine).
+///
+/// The firmware charges these instruction counts for each action; all of
+/// Fig 3's virtualization costs (gap x2.21, +23% round trip, +1.1 us of
+/// defensive checks) emerge from them. The counts were calibrated against
+/// the paper's measured LogP parameters — see EXPERIMENTS.md.
+struct NicConfig {
+  // ----- processor -----
+  /// 37.5 MHz -> 26.67 ns per (average) instruction.
+  double ns_per_instruction = 1000.0 / 37.5;
+
+  /// Endpoint frames resident in NIC SRAM. The LANai 4.3 reserves 64 KB for
+  /// 8 frames; newer interfaces support 96 (§4.1).
+  int endpoint_frames = 8;
+
+  // ----- transport (virtual-network firmware, §5.1) -----
+  /// When false the NIC runs the first-generation GAM firmware: single
+  /// endpoint, no keys, no acks/timeouts (assumes a reliable network).
+  bool reliable_transport = true;
+
+  /// Error checking and "defensive firmware practices" (§6.1) — adds
+  /// roughly 1.1 us to L and g when enabled; ablatable.
+  bool defensive_checks = true;
+
+  /// Stop-and-wait logical channels per peer interface (§5.1): they mask
+  /// ack latency and exploit multi-path routing.
+  int channels_per_peer = 24;
+
+  /// Base retransmission timeout (no response at all — must exceed worst
+  /// case receive-side DMA queueing); backoff doubles it per consecutive
+  /// loss (randomized +/-25%) up to max_backoff_exponent doublings.
+  sim::Duration retransmit_timeout = 3 * sim::ms;
+  /// Retry delay after an explicit transient NACK (queue overrun,
+  /// non-resident endpoint): the receiver told us why, so retry sooner.
+  sim::Duration nack_retry_delay = 100 * sim::us;
+
+  /// §8 extension: estimate per-peer round-trip times from the echoed
+  /// 32-bit timestamps and schedule retransmissions adaptively
+  /// (Jacobson-style srtt + 4*rttvar) instead of the fixed timeout. The
+  /// paper names this as enabled by "additional processing power"; it is
+  /// off by default to match the published system.
+  bool adaptive_timeout = false;
+  /// Floor for the adaptive timeout.
+  sim::Duration adaptive_timeout_min = 150 * sim::us;
+  /// Extra firmware work per ack to maintain the estimator.
+  int instr_rtt_estimate = 15;
+
+  /// §8 extension: piggyback pending acknowledgments on reverse-direction
+  /// data frames to reduce network occupancy; a standalone ack goes out
+  /// only if no data frame departs within `piggyback_delay`. Off by
+  /// default to match the published system.
+  bool piggyback_acks = false;
+  sim::Duration piggyback_delay = 25 * sim::us;
+  /// Wire bytes added per piggybacked ack.
+  std::uint32_t piggyback_bytes = 8;
+  /// Max acks carried per data frame.
+  int piggyback_max = 3;
+  int max_backoff_exponent = 6;
+
+  /// Consecutive retransmissions before the message is unbound from its
+  /// channel so the channel can be reused (§5.1).
+  int retransmit_unbind_limit = 8;
+
+  /// Prolonged absence of acknowledgments -> unrecoverable transport
+  /// condition -> return to sender (§5.1).
+  sim::Duration unreachable_timeout = 1 * sim::sec;
+
+  /// Largest transport payload per packet; longer transfers fragment.
+  std::uint32_t max_packet_payload = 4096;
+
+  // ----- service & queueing discipline (§5.2) -----
+  /// The weighted round-robin loiter bounds: at most this many descriptors
+  /// and this much time on one endpoint before moving on.
+  int loiter_descriptors = 64;
+  sim::Duration loiter_time = 4 * sim::ms;
+
+  // ----- firmware instruction costs (counts, multiplied by
+  //       ns_per_instruction). "vn" = virtual-network firmware,
+  //       "gam" = first-generation firmware. -----
+  int instr_send_descriptor = 85;  ///< fetch+validate descriptor, translate
+  int instr_build_packet = 55;      ///< header build, channel bind, inject
+  int instr_ack_process = 95;      ///< ack demux, channel release, timers
+  int instr_recv_process = 95;     ///< demux, key check, queue write
+  int instr_ack_generate = 75;      ///< build + inject ack/nack
+  int instr_timer_scan = 30;        ///< per timer-wheel visit
+  int instr_endpoint_visit = 25;    ///< WRR poll of one resident endpoint
+  int instr_driver_op = 200;        ///< one driver/NI protocol operation
+  int instr_defensive = 21;         ///< extra per packet handled, each side
+  int instr_piggy_ack = 40;         ///< processing one piggybacked ack
+
+  int gam_instr_send = 85;  ///< entire GAM send-side packet handling
+  int gam_instr_recv = 50;   ///< entire GAM receive-side packet handling
+
+  // ----- SBUS (§6.1: asymmetric DMA rates; PIO for small accesses) -----
+  /// NI writing host memory (receive path): 46.8 MB/s hardware limit.
+  double sbus_write_ns_per_byte = 1000.0 / 46.8;
+  /// NI reading host memory (send path): faster, ~61 MB/s.
+  double sbus_read_ns_per_byte = 1000.0 / 61.0;
+  /// Fixed per-DMA setup cost.
+  sim::Duration sbus_dma_setup = 2 * sim::us;
+
+  // ----- endpoint memory layout (§4.1 / §6.4) -----
+  int send_queue_depth = 64;       ///< send descriptors per endpoint
+  int recv_request_depth = 32;     ///< request receive queue entries
+  int recv_reply_depth = 32;       ///< reply receive queue entries
+
+  sim::Duration instr(int count) const {
+    return static_cast<sim::Duration>(count * ns_per_instruction);
+  }
+};
+
+}  // namespace vnet::lanai

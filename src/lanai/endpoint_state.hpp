@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "lanai/frame.hpp"
+#include "sim/time.hpp"
+
+namespace vnet::lanai {
+
+/// One row of an endpoint's translation table (§3.1): maps a small integer
+/// index to a (node, endpoint, key) triple. The protected part of the
+/// system — the NIC — stamps outgoing messages with the key; the receiving
+/// NIC verifies it against the destination endpoint's tag.
+struct Translation {
+  bool valid = false;
+  NodeId node = myrinet::kInvalidNode;
+  EpId ep = kInvalidEp;
+  std::uint64_t key = 0;
+};
+
+/// A message the application has written into an endpoint's send queue.
+/// The transport fields at the bottom are owned by the NIC while the
+/// message is in flight.
+struct SendDescriptor {
+  /// For requests: index into the source endpoint's translation table.
+  std::uint32_t dest_index = 0;
+  /// For replies: the requester's address, taken from the ReplyToken.
+  ReplyToken reply_to;
+  MsgBody body;
+  std::uint64_t msg_id = 0;
+
+  // --- transport progress (NIC-owned) ---
+  enum class FragState : std::uint8_t { kUnsent = 0, kInFlight, kAcked };
+  std::uint32_t frag_count = 1;
+  std::uint32_t frags_acked = 0;
+  /// Per-fragment transport state; fragments can be unbound from channels
+  /// and rebound out of order (§5.1), so a counter is not enough.
+  std::vector<FragState> frag_state;
+  sim::Time first_sent_at = -1;  ///< for the unreachable timeout
+  bool returned = false;         ///< undeliverable; awaiting queue sweep
+
+  bool complete() const { return frags_acked == frag_count; }
+  bool finished() const { return returned || complete(); }
+
+  bool has_unsent() const {
+    if (finished()) return false;
+    if (frag_state.empty()) return true;  // nothing transmitted yet
+    for (FragState s : frag_state) {
+      if (s == FragState::kUnsent) return true;
+    }
+    return false;
+  }
+
+  /// First fragment not yet handed to a channel, or -1 if none.
+  /// Lazily initializes the per-fragment state array.
+  int next_unsent() {
+    if (frag_state.empty()) {
+      frag_state.assign(frag_count, FragState::kUnsent);
+    }
+    for (std::size_t i = 0; i < frag_state.size(); ++i) {
+      if (frag_state[i] == FragState::kUnsent) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+/// A delivered message awaiting the application (one receive-queue entry).
+struct RecvEntry {
+  MsgBody body;
+  ReplyToken reply_to;
+  NodeId src_node = myrinet::kInvalidNode;
+  EpId src_ep = kInvalidEp;
+  sim::Time arrived_at = 0;
+};
+
+/// The hardware-visible endpoint: message queues and associated state that
+/// reside beneath the programming interface (§3). This exact object is what
+/// migrates between host memory and a NIC endpoint frame; in the simulation
+/// the *object* stays put and `frame` records where it currently "lives",
+/// with the residency-dependent costs charged by the accessing layer.
+struct EndpointState {
+  NodeId node = myrinet::kInvalidNode;
+  EpId id = kInvalidEp;
+
+  /// Protection tag that senders' keys must match for delivery (§3.1).
+  std::uint64_t tag = 0;
+
+  /// NIC frame index, or -1 while non-resident.
+  int frame = -1;
+  bool resident() const { return frame >= 0; }
+
+  std::vector<Translation> translations;
+
+  // Queues; depths are enforced by the writers (see NicConfig).
+  std::deque<SendDescriptor> send_queue;
+  std::deque<RecvEntry> recv_requests;
+  std::deque<RecvEntry> recv_replies;
+
+  // Receive-queue slots reserved by in-progress multi-fragment messages
+  // (NIC-owned; counted against the queue depths).
+  std::uint32_t nic_reserved_requests = 0;
+  std::uint32_t nic_reserved_replies = 0;
+
+  // --- statistics ---
+  std::uint64_t msgs_sent = 0;        ///< fully acknowledged
+  std::uint64_t msgs_delivered = 0;   ///< written into our receive queues
+  std::uint64_t msgs_returned = 0;    ///< returned to sender
+  std::uint64_t recv_overruns = 0;    ///< arrivals nacked for a full queue
+  std::uint64_t next_msg_id = 1;
+
+  // --- upcalls into the layers above (wired by am::Endpoint / driver) ---
+  /// A message was written into a receive queue.
+  std::function<void()> on_arrival;
+  /// A send completed (acked) or space appeared in the send queue.
+  std::function<void()> on_send_progress;
+  /// A message came back undeliverable; the application's handler decides
+  /// whether to abort or re-issue (§3.2).
+  std::function<void(SendDescriptor, NackReason)> on_return_to_sender;
+
+  std::uint64_t alloc_msg_id() { return next_msg_id++; }
+};
+
+}  // namespace vnet::lanai

@@ -1,0 +1,1036 @@
+#include "lanai/nic.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vnet::lanai {
+
+namespace {
+
+/// Key for per-source-endpoint delivery windows.
+std::uint64_t src_key(NodeId node, EpId ep) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(node)) << 32) |
+         ep;
+}
+
+}  // namespace
+
+const char* to_string(NackReason r) {
+  switch (r) {
+    case NackReason::kNone:
+      return "none";
+    case NackReason::kNotResident:
+      return "not-resident";
+    case NackReason::kQueueFull:
+      return "queue-full";
+    case NackReason::kNoSuchEndpoint:
+      return "no-such-endpoint";
+    case NackReason::kBadKey:
+      return "bad-key";
+    case NackReason::kStaleEpoch:
+      return "stale-epoch";
+  }
+  return "?";
+}
+
+void Nic::DeliveredWindow::remember(std::uint64_t id) {
+  static constexpr std::size_t kCapacity = 128;
+  if (set.insert(id).second) {
+    order.push_back(id);
+    if (order.size() > kCapacity) {
+      set.erase(order.front());
+      order.pop_front();
+    }
+  }
+}
+
+Nic::Nic(sim::Engine& engine, myrinet::Fabric& fabric, NodeId node,
+         NicConfig config)
+    : engine_(&engine),
+      fabric_(&fabric),
+      station_(&fabric.station(node)),
+      node_(node),
+      config_(config),
+      sbus_(engine, config_),
+      work_(engine),
+      rx_(engine),
+      driver_ops_(engine),
+      frames_(static_cast<std::size_t>(config.endpoint_frames)),
+      rng_(engine.rng().split()) {}
+
+void Nic::start() {
+  assert(!started_);
+  started_ = true;
+  station_->on_receive = [this](myrinet::Packet p) {
+    rx_.post(std::move(p));
+    work_.notify_all();
+  };
+  engine_->spawn(firmware_loop());
+}
+
+void Nic::doorbell(EndpointState& ep) {
+  if (ep.resident()) work_.notify_all();
+}
+
+void Nic::submit(DriverOp op) {
+  driver_ops_.post(std::move(op));
+  work_.notify_all();
+}
+
+int Nic::free_frames() const {
+  int n = 0;
+  for (const auto& f : frames_) {
+    if (f.ep == nullptr) ++n;
+  }
+  return n;
+}
+
+void Nic::reboot() {
+  // Transport state is lost: channels restart in a new epoch; the receive
+  // side re-synchronizes on the first frame it sees (§5.1).
+  std::uint32_t max_epoch = epoch_base_;
+  for (auto& [peer, chans] : channels_) {
+    for (auto& ch : chans) max_epoch = std::max(max_epoch, ch.epoch);
+  }
+  channels_.clear();
+  recv_channels_.clear();
+  reassembly_.clear();
+  delivered_.clear();
+  due_retransmits_.clear();
+  epoch_base_ = max_epoch + 1;
+  work_.notify_all();
+}
+
+// --------------------------------------------------------------- firmware
+
+sim::Process Nic::firmware_loop() {
+  for (;;) {
+    bool worked = false;
+    // Receive processing first: keeps acknowledgments flowing and receive
+    // queues draining. Bounded batch so sends are not starved.
+    for (int i = 0; i < 8; ++i) {
+      auto pkt = rx_.try_receive();
+      if (!pkt) break;
+      worked |= co_await handle_rx(std::move(*pkt));
+    }
+    // Driver/NI protocol operations are interleaved with user messages
+    // (§5.3): one per loop.
+    if (auto op = driver_ops_.try_receive()) {
+      co_await handle_driver(std::move(*op));
+      worked = true;
+    }
+    // Retransmission timers.
+    while (!due_retransmits_.empty()) {
+      ChannelState* ch = due_retransmits_.front();
+      due_retransmits_.pop_front();
+      worked |= co_await handle_retransmit(ch);
+    }
+    // Weighted round-robin endpoint service (§5.2).
+    worked |= co_await service_step();
+    // Quiescence checks for pending unload/destroy (§5.3).
+    if (!pending_unloads_.empty()) worked |= co_await process_unloads();
+    if (!worked && !work_pending()) {
+      // The re-check closes a lost-wakeup race: a doorbell can ring while
+      // this loop is mid-step (awaiting an instruction charge), in which
+      // case its notify finds no waiter and would otherwise be lost.
+      co_await work_.wait();
+    }
+  }
+}
+
+bool Nic::work_pending() const {
+  if (!rx_.empty() || !driver_ops_.empty() || !due_retransmits_.empty()) {
+    return true;
+  }
+  for (const auto& slot : frames_) {
+    if (slot.ep != nullptr && has_sendable(*slot.ep)) return true;
+  }
+  return false;
+}
+
+bool Nic::has_sendable(const EndpointState& ep) const {
+  if (draining_.count(ep.id) != 0) return false;
+  for (const auto& d : ep.send_queue) {
+    if (d.has_unsent()) return true;
+  }
+  return false;
+}
+
+sim::Task<bool> Nic::service_step() {
+  // One transmission per dispatch-loop iteration, so receive processing
+  // and timers interleave with sending (the LANai's DMA engines overlap).
+  // The loiter state keeps the interface on the same endpoint for up to
+  // loiter_descriptors / loiter_time (§5.2) before it rotates onward.
+  if (loiter_ep_ != nullptr) {
+    EndpointState& ep = *loiter_ep_;
+    const bool still_eligible = ep.resident() && has_sendable(ep) &&
+                                loiter_budget_ > 0 &&
+                                engine_->now() < loiter_deadline_;
+    if (still_eligible) {
+      const bool sent = co_await service_endpoint(ep);
+      if (sent) {
+        --loiter_budget_;
+        co_return true;
+      }
+    }
+    loiter_ep_ = nullptr;  // budget spent, drained, or blocked: rotate
+  }
+
+  const std::size_t n = frames_.size();
+  if (n == 0) co_return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t slot = (rr_cursor_ + i) % n;
+    EndpointState* ep = frames_[slot].ep;
+    if (ep == nullptr || !has_sendable(*ep)) continue;
+    // Dispatch overhead for selecting the endpoint. (Real firmware keeps a
+    // doorbell bitmask; scanning idle frames is near-free.)
+    co_await charge(config_.instr_endpoint_visit);
+    const bool sent = co_await service_endpoint(*ep);
+    rr_cursor_ = (slot + 1) % n;
+    if (sent) {
+      loiter_ep_ = ep;
+      loiter_budget_ = config_.loiter_descriptors - 1;
+      loiter_deadline_ = engine_->now() + config_.loiter_time;
+      co_return true;
+    }
+    // This endpoint is blocked (e.g. all channels to its destination are
+    // busy); keep scanning so one stuck endpoint cannot idle the wire.
+  }
+  co_return false;
+}
+
+sim::Task<bool> Nic::service_endpoint(EndpointState& ep) {
+  // Transmit the next pending fragment of this endpoint, if any.
+  SendDescriptor* next = nullptr;
+  for (auto& d : ep.send_queue) {
+    if (d.has_unsent()) {
+      next = &d;
+      break;
+    }
+  }
+  if (next == nullptr) co_return false;
+  co_return co_await start_fragment(ep, *next);
+}
+
+sim::Task<bool> Nic::start_fragment(EndpointState& ep, SendDescriptor& desc) {
+  // Resolve the destination: requests go through the translation table
+  // (§3.1), replies directly to the requester.
+  NodeId dst_node;
+  EpId dst_ep;
+  std::uint64_t key = 0;
+  if (desc.body.is_request) {
+    if (desc.dest_index >= ep.translations.size() ||
+        !ep.translations[desc.dest_index].valid) {
+      return_to_sender(ep, desc.msg_id, NackReason::kNoSuchEndpoint);
+      co_return true;
+    }
+    const Translation& tr = ep.translations[desc.dest_index];
+    dst_node = tr.node;
+    dst_ep = tr.ep;
+    key = tr.key;
+  } else {
+    dst_node = desc.reply_to.node;
+    dst_ep = desc.reply_to.ep;
+    key = desc.reply_to.key;  // return authorization from the request
+  }
+
+  if (dst_node == node_) {
+    co_return co_await deliver_local(ep, desc, dst_ep, key);
+  }
+
+  const bool gam = !config_.reliable_transport;
+  ChannelState* ch = nullptr;
+  if (!gam) {
+    ch = find_free_channel(dst_node);
+    if (ch == nullptr) co_return false;  // all channels busy: try later
+  }
+
+  co_await charge(config_.instr_send_descriptor +
+                  (config_.defensive_checks ? config_.instr_defensive : 0));
+
+  const int frag_idx = desc.next_unsent();
+  assert(frag_idx >= 0);
+  const auto frag = static_cast<std::uint32_t>(frag_idx);
+  if (desc.first_sent_at < 0) desc.first_sent_at = engine_->now();
+  const std::uint32_t mtu = config_.max_packet_payload;
+  const std::uint32_t frag_bytes =
+      desc.body.bulk_bytes == 0
+          ? 0
+          : std::min(mtu, desc.body.bulk_bytes - frag * mtu);
+
+  // Bulk payload is staged host -> NIC SRAM across the SBUS before it can
+  // go onto the wire (§4.1: all transfers staged through NIC memory).
+  if (frag_bytes > 0) {
+    co_await sbus_.transfer(frag_bytes, SbusDma::Dir::kReadHost);
+  }
+
+  co_await charge(config_.instr_build_packet);
+
+  Frame f;
+  f.kind = FrameKind::kData;
+  f.src_node = node_;
+  f.src_ep = ep.id;
+  f.dst_node = dst_node;
+  f.dst_ep = dst_ep;
+  f.key = key;
+  f.src_tag = ep.tag;
+  f.body = desc.body;
+  f.reply_to = desc.reply_to;
+  f.msg_id = desc.msg_id;
+  f.frag_index = frag;
+  f.frag_count = desc.frag_count;
+  f.frag_bytes = frag_bytes;
+  f.timestamp = nic_timestamp();
+
+  desc.frag_state[frag] = SendDescriptor::FragState::kInFlight;
+
+  if (gam) {
+    co_await inject(f);
+    ++stats_.data_sent;
+    // No acknowledgment: the first-generation interface assumes a
+    // reliable network. The descriptor completes as soon as it is sent.
+    desc.frag_state[frag] = SendDescriptor::FragState::kAcked;
+    ++desc.frags_acked;
+    if (desc.complete()) {
+      ++stats_.msgs_completed;
+      ++ep.msgs_sent;
+      sweep_send_queue(ep);
+      if (ep.on_send_progress) ep.on_send_progress();
+    }
+    co_return true;
+  }
+
+  f.channel = ch->index;
+  f.seq = ch->next_seq++;
+  f.epoch = ch->epoch;
+  ch->busy = true;
+  ch->src_ep = &ep;
+  ch->consecutive_retries = 0;
+  ch->sent_at = engine_->now();
+  ch->was_retransmitted = false;
+
+  // §8 extension: carry pending acknowledgments for this peer.
+  if (config_.piggyback_acks) {
+    auto pit = pending_acks_.find(dst_node);
+    if (pit != pending_acks_.end() && !pit->second.empty()) {
+      auto& pending = pit->second;
+      const auto take = std::min<std::size_t>(
+          pending.size(), static_cast<std::size_t>(config_.piggyback_max));
+      f.piggy_acks.assign(pending.begin(),
+                          pending.begin() + static_cast<std::ptrdiff_t>(take));
+      pending.erase(pending.begin(),
+                    pending.begin() + static_cast<std::ptrdiff_t>(take));
+      stats_.acks_piggybacked += take;
+    }
+  }
+  ch->pending = f;
+
+  co_await inject(f);
+  ++stats_.data_sent;
+  arm_timer(*ch, backoff_for(*ch, 0));
+  co_return true;
+}
+
+sim::Task<bool> Nic::deliver_local(EndpointState& src, SendDescriptor& desc,
+                                   EpId dst_ep, std::uint64_t key) {
+  const bool gam = !config_.reliable_transport;
+  co_await charge((gam ? config_.gam_instr_send : config_.instr_send_descriptor) +
+                  (gam ? config_.gam_instr_recv : config_.instr_recv_process));
+
+  auto finish_ok = [&] {
+    desc.frag_state.assign(desc.frag_count, SendDescriptor::FragState::kAcked);
+    desc.frags_acked = desc.frag_count;
+    ++stats_.msgs_completed;
+    ++stats_.local_deliveries;
+    ++src.msgs_sent;
+    sweep_send_queue(src);
+    if (src.on_send_progress) src.on_send_progress();
+  };
+
+  auto it = directory_.find(dst_ep);
+  if (it == directory_.end()) {
+    return_to_sender(src, desc.msg_id, NackReason::kNoSuchEndpoint);
+    co_return true;
+  }
+  EndpointState& dst = *it->second;
+  if (!gam && key != dst.tag) {
+    return_to_sender(src, desc.msg_id, NackReason::kBadKey);
+    co_return true;
+  }
+  if (!dst.resident()) {
+    // A local reference to a non-resident endpoint triggers activation
+    // (§4.1) and the message waits, exactly like a remote arrival.
+    request_make_resident(dst.id);
+    co_return false;
+  }
+  auto& queue = desc.body.is_request ? dst.recv_requests : dst.recv_replies;
+  const auto reserved = desc.body.is_request ? dst.nic_reserved_requests
+                                             : dst.nic_reserved_replies;
+  const auto depth = static_cast<std::size_t>(desc.body.is_request
+                                                  ? config_.recv_request_depth
+                                                  : config_.recv_reply_depth);
+  if (queue.size() + reserved >= depth) {
+    if (gam) {
+      // GAM drops on overrun; user-level credits are the only protection.
+      ++stats_.gam_drops;
+      ++dst.recv_overruns;
+      finish_ok();  // the send itself "succeeded"
+      co_return true;
+    }
+    ++dst.recv_overruns;
+    co_return false;  // retry later (stays in the send queue)
+  }
+
+  // Bulk payload crosses the SBUS twice for a local message (out of the
+  // source region, into the destination region).
+  if (desc.body.bulk_bytes > 0) {
+    co_await sbus_.transfer(desc.body.bulk_bytes, SbusDma::Dir::kReadHost);
+    co_await sbus_.transfer(desc.body.bulk_bytes, SbusDma::Dir::kWriteHost);
+  }
+
+  RecvEntry entry;
+  entry.body = desc.body;
+  entry.reply_to = desc.body.is_request
+                       ? ReplyToken{node_, src.id, desc.msg_id, src.tag}
+                       : ReplyToken{};
+  entry.src_node = node_;
+  entry.src_ep = src.id;
+  entry.arrived_at = engine_->now();
+  queue.push_back(std::move(entry));
+  ++dst.msgs_delivered;
+  finish_ok();
+  if (dst.on_arrival) dst.on_arrival();
+  co_return true;
+}
+
+sim::Task<> Nic::inject(Frame f) {
+  const auto& routes = fabric_->routes(node_, f.dst_node);
+  assert(!routes.empty());
+  // Channels are statically bound to routes (§5.3): FIFO per channel.
+  const auto& route = routes[f.channel % routes.size()];
+
+  myrinet::Packet p;
+  p.src = node_;
+  p.dst = f.dst_node;
+  p.route = route;
+  p.wire_bytes = f.wire_bytes();
+  p.id = next_packet_id_++;
+  p.payload = std::make_unique<Frame>(std::move(f));
+
+  while (!station_->can_inject()) {
+    co_await station_->drained().wait();
+  }
+  station_->inject(std::move(p));
+}
+
+// --------------------------------------------------------------- receive
+
+sim::Task<bool> Nic::handle_rx(myrinet::Packet pkt) {
+  auto* frame = dynamic_cast<Frame*>(pkt.payload.get());
+  if (frame == nullptr) co_return true;  // foreign traffic: ignore
+  if (pkt.corrupt) {
+    // CRC failure: drop silently; the sender's timer recovers it.
+    ++stats_.crc_drops;
+    co_await charge(16);
+    co_return true;
+  }
+  if (frame->kind == FrameKind::kData) {
+    co_await handle_data(std::move(*frame));
+  } else {
+    co_await handle_ack_or_nack(*frame);
+  }
+  co_return true;
+}
+
+sim::Task<> Nic::handle_data(Frame f) {
+  const bool gam = !config_.reliable_transport;
+  ++stats_.data_received;
+  for (const auto& pa : f.piggy_acks) {
+    co_await apply_positive_ack(f.src_node, pa, /*standalone=*/false);
+  }
+  co_await charge((gam ? config_.gam_instr_recv : config_.instr_recv_process) +
+                  (!gam && config_.defensive_checks ? config_.instr_defensive
+                                                    : 0));
+
+  RecvChannelState* rcs = nullptr;
+  if (!gam) {
+    rcs = &recv_channels_[peer_key(f.src_node, f.channel)];
+    if (f.epoch < rcs->epoch) {
+      // Stale incarnation: tell the sender to resynchronize (§5.1).
+      Frame nack_template = f;
+      nack_template.epoch = rcs->epoch;
+      co_await send_nack(nack_template, NackReason::kStaleEpoch);
+      co_return;
+    }
+    if (f.epoch > rcs->epoch) {
+      // The peer re-initialized; adopt its new epoch (self-synchronizing).
+      rcs->epoch = f.epoch;
+      rcs->have_seq = false;
+    }
+    if (rcs->have_seq && rcs->last_seq == f.seq) {
+      // Duplicate of an already-accepted frame (our ack was lost): re-ack.
+      ++stats_.duplicates_suppressed;
+      co_await send_ack(f);
+      co_return;
+    }
+  }
+
+  auto it = directory_.find(f.dst_ep);
+  if (it == directory_.end()) {
+    if (!gam) co_await send_nack(f, NackReason::kNoSuchEndpoint);
+    co_return;
+  }
+  EndpointState& ep = *it->second;
+  if (!gam && f.key != ep.tag) {
+    co_await send_nack(f, NackReason::kBadKey);
+    co_return;
+  }
+  if (!ep.resident()) {
+    // Message arrival for a non-resident endpoint: nack it and ask the
+    // driver to activate the endpoint (§4.1, §4.2). The sender retries.
+    request_make_resident(ep.id);
+    if (gam) {
+      ++stats_.gam_drops;
+    } else {
+      co_await send_nack(f, NackReason::kNotResident);
+    }
+    co_return;
+  }
+
+  // Exactly-once across channel rebinds: suppress message-level duplicates.
+  if (!gam) {
+    auto& window = delivered_[src_key(f.src_node, f.src_ep)];
+    if (window.contains(f.msg_id)) {
+      ++stats_.duplicates_suppressed;
+      co_await send_ack(f);
+      co_return;
+    }
+  }
+
+  auto& queue = f.body.is_request ? ep.recv_requests : ep.recv_replies;
+  auto& reserved = f.body.is_request ? ep.nic_reserved_requests
+                                     : ep.nic_reserved_replies;
+  const auto depth = static_cast<std::size_t>(
+      f.body.is_request ? config_.recv_request_depth
+                        : config_.recv_reply_depth);
+
+  const auto rkey = std::make_tuple(f.src_node, f.src_ep, f.msg_id);
+  auto rit = reassembly_.find(rkey);
+  const bool first_frag = (rit == reassembly_.end());
+  // The LANai has only a few packet buffers between the wire and the
+  // endpoint queues; frames already received but not yet demultiplexed
+  // count against the queue up to that buffering, otherwise overruns
+  // would hide in NIC memory. (Counting the *whole* backlog would let a
+  // retry storm at high fan-in nack 100% of arrivals forever.)
+  const std::size_t staged = std::min<std::size_t>(rx_.size(), 8);
+  if (first_frag && queue.size() + reserved + staged >= depth) {
+    ++ep.recv_overruns;
+    if (gam) {
+      ++stats_.gam_drops;
+    } else {
+      co_await send_nack(f, NackReason::kQueueFull);
+    }
+    co_return;
+  }
+
+  co_await accept_fragment(ep, f, queue, reserved);
+  if (rcs != nullptr) {
+    rcs->have_seq = true;
+    rcs->last_seq = f.seq;
+  }
+  if (!gam) co_await send_ack(f);
+}
+
+sim::Task<> Nic::accept_fragment(EndpointState& ep, const Frame& f,
+                                 std::deque<RecvEntry>& queue,
+                                 std::uint32_t& reserved) {
+  // Bulk payload is staged NIC SRAM -> host memory across the SBUS.
+  if (f.frag_bytes > 0) {
+    co_await sbus_.transfer(f.frag_bytes, SbusDma::Dir::kWriteHost);
+  }
+
+  auto deliver = [&](RecvEntry entry) {
+    queue.push_back(std::move(entry));
+    ++ep.msgs_delivered;
+    if (config_.reliable_transport) {
+      delivered_[src_key(f.src_node, f.src_ep)].remember(f.msg_id);
+    }
+    if (ep.on_arrival) ep.on_arrival();
+  };
+
+  auto make_entry = [&] {
+    RecvEntry entry;
+    entry.body = f.body;
+    entry.reply_to = f.body.is_request
+                         ? ReplyToken{f.src_node, f.src_ep, f.msg_id, f.src_tag}
+                         : ReplyToken{};
+    entry.src_node = f.src_node;
+    entry.src_ep = f.src_ep;
+    entry.arrived_at = engine_->now();
+    return entry;
+  };
+
+  if (f.frag_count <= 1) {
+    deliver(make_entry());
+    co_return;
+  }
+
+  const auto rkey = std::make_tuple(f.src_node, f.src_ep, f.msg_id);
+  auto rit = reassembly_.find(rkey);
+  if (rit == reassembly_.end()) {
+    Reassembly r;
+    r.entry = make_entry();
+    r.dst_ep = ep.id;
+    r.is_request = f.body.is_request;
+    r.frags.insert(f.frag_index);
+    ++reserved;  // hold a queue slot for the completed message
+    reassembly_.emplace(rkey, std::move(r));
+    co_return;
+  }
+  Reassembly& r = rit->second;
+  if (!r.frags.insert(f.frag_index).second) co_return;  // duplicate frag
+  if (r.frags.size() == f.frag_count) {
+    RecvEntry entry = std::move(r.entry);
+    entry.arrived_at = engine_->now();
+    reassembly_.erase(rit);
+    if (reserved > 0) --reserved;
+    deliver(std::move(entry));
+  }
+}
+
+sim::Task<> Nic::send_ack(const Frame& data) {
+  if (config_.piggyback_acks) {
+    // Queue the acknowledgment; it rides the next data frame toward the
+    // sender, or a standalone flush goes out after piggyback_delay.
+    Frame::PiggyAck pa;
+    pa.channel = data.channel;
+    pa.seq = data.seq;
+    pa.epoch = data.epoch;
+    pa.timestamp = data.timestamp;
+    pa.msg_id = data.msg_id;
+    pa.frag_index = data.frag_index;
+    pending_acks_[data.src_node].push_back(pa);
+    schedule_piggy_flush(data.src_node);
+    co_return;
+  }
+  co_await charge(config_.instr_ack_generate);
+  Frame a;
+  a.kind = FrameKind::kAck;
+  a.src_node = node_;
+  a.src_ep = data.dst_ep;
+  a.dst_node = data.src_node;
+  a.dst_ep = data.src_ep;
+  a.channel = data.channel;
+  a.epoch = data.epoch;
+  a.acked_seq = data.seq;
+  a.timestamp = data.timestamp;  // echoed for the sender's matching rule
+  a.msg_id = data.msg_id;
+  ++stats_.acks_sent;
+  co_await inject(std::move(a));
+}
+
+sim::Task<> Nic::send_nack(const Frame& data, NackReason r) {
+  co_await charge(config_.instr_ack_generate);
+  Frame a;
+  a.kind = FrameKind::kNack;
+  a.nack = r;
+  a.src_node = node_;
+  a.src_ep = data.dst_ep;
+  a.dst_node = data.src_node;
+  a.dst_ep = data.src_ep;
+  a.channel = data.channel;
+  a.epoch = data.epoch;
+  a.acked_seq = data.seq;
+  a.timestamp = data.timestamp;
+  a.msg_id = data.msg_id;
+  ++stats_.nacks_sent;
+  ++stats_.nacks_sent_by_reason[static_cast<int>(r)];
+  co_await inject(std::move(a));
+}
+
+sim::Task<> Nic::handle_ack_or_nack(const Frame& f) {
+  if (f.kind == FrameKind::kAck) {
+    // Positive acks (standalone or carrying extra piggybacked entries) all
+    // go through the same validation/application path; a stale main entry
+    // must not discard the piggybacked ones.
+    Frame::PiggyAck main;
+    main.channel = f.channel;
+    main.seq = f.acked_seq;
+    main.epoch = f.epoch;
+    main.timestamp = f.timestamp;
+    main.msg_id = f.msg_id;
+    main.frag_index = f.frag_index;
+    co_await apply_positive_ack(f.src_node, main, /*standalone=*/true);
+    for (const auto& pa : f.piggy_acks) {
+      co_await apply_positive_ack(f.src_node, pa, /*standalone=*/false);
+    }
+    co_return;
+  }
+
+  co_await charge(config_.instr_ack_process +
+                  (config_.defensive_checks ? config_.instr_defensive : 0));
+  auto cit = channels_.find(f.src_node);
+  if (cit == channels_.end() || f.channel >= cit->second.size()) {
+    co_return;  // unknown channel (e.g. after reboot): ignore
+  }
+  ChannelState& ch = cit->second[f.channel];
+
+  if (f.nack == NackReason::kStaleEpoch) {
+    // Peer is ahead of us: adopt its epoch and retransmit (§5.1).
+    if (ch.busy && f.epoch > ch.epoch) {
+      ch.epoch = f.epoch;
+      ch.pending.epoch = f.epoch;
+      ch.timer_gen++;
+      due_retransmits_.push_back(&ch);
+    }
+    ++stats_.nacks_received;
+    co_return;
+  }
+
+  // Validate against the most recent (re)transmission: the echoed
+  // timestamp must match (§5.3's accounting rule for in-flight copies).
+  if (!ch.busy || f.epoch != ch.epoch || f.acked_seq != ch.pending.seq ||
+      f.timestamp != ch.pending.timestamp) {
+    co_return;  // stale nack for an older copy
+  }
+
+  ++stats_.nacks_received;
+  if (is_fatal(f.nack)) {
+    EndpointState* ep = ch.src_ep;
+    const std::uint64_t msg = ch.pending.msg_id;
+    ch.busy = false;
+    ch.timer_gen++;
+    return_to_sender(*ep, msg, f.nack);
+    co_return;
+  }
+  // Transient: back off and retransmit via the timer path. The explicit
+  // nack tells us the frame arrived but could not be delivered, so the
+  // retry delay starts from the (short) nack base, not the loss timeout.
+  ch.consecutive_retries++;
+  ch.timer_gen++;
+  arm_timer(ch, nack_backoff(ch.consecutive_retries));
+}
+
+sim::Duration Nic::nack_backoff(int consecutive) const {
+  const int exp = std::min(consecutive, config_.max_backoff_exponent);
+  const auto base = config_.nack_retry_delay << exp;
+  const double jitter = 0.75 + 0.5 * const_cast<Nic*>(this)->rng_.uniform();
+  return static_cast<sim::Duration>(static_cast<double>(base) * jitter);
+}
+
+void Nic::complete_fragment_ack(ChannelState& ch, const Frame& ack) {
+  EndpointState& ep = *ch.src_ep;
+  ch.busy = false;
+  ch.timer_gen++;
+  ch.consecutive_retries = 0;
+  SendDescriptor* desc = find_descriptor(ep, ack.msg_id);
+  work_.notify_all();  // a channel freed: senders may proceed
+  if (desc == nullptr) return;  // descriptor aborted meanwhile
+  const std::uint32_t idx = ch.pending.frag_index;
+  if (idx >= desc->frag_state.size() ||
+      desc->frag_state[idx] != SendDescriptor::FragState::kInFlight) {
+    return;  // defensive: fragment already accounted for
+  }
+  desc->frag_state[idx] = SendDescriptor::FragState::kAcked;
+  desc->frags_acked++;
+  if (desc->complete()) {
+    ++stats_.msgs_completed;
+    ++ep.msgs_sent;
+    sweep_send_queue(ep);
+    if (ep.on_send_progress) ep.on_send_progress();
+  }
+}
+
+// ---------------------------------------------------------- retransmission
+
+void Nic::arm_timer(ChannelState& ch, sim::Duration timeout) {
+  const std::uint64_t gen = ch.timer_gen;
+  engine_->after(timeout, [this, &ch, gen] {
+    if (ch.busy && ch.timer_gen == gen) {
+      due_retransmits_.push_back(&ch);
+      work_.notify_all();
+    }
+  });
+}
+
+sim::Task<bool> Nic::handle_retransmit(ChannelState* ch) {
+  if (!ch->busy) co_return false;  // acked while queued: stale
+  co_await charge(config_.instr_timer_scan);
+  EndpointState& ep = *ch->src_ep;
+  SendDescriptor* desc = find_descriptor(ep, ch->pending.msg_id);
+  if (desc == nullptr) {
+    ch->busy = false;
+    ch->timer_gen++;
+    co_return true;
+  }
+
+  // Prolonged absence of acknowledgments: unrecoverable transport
+  // condition — return the message to its sender (§3.2, §5.1).
+  if (engine_->now() - desc->first_sent_at > config_.unreachable_timeout) {
+    return_to_sender(ep, desc->msg_id, NackReason::kNone);
+    co_return true;
+  }
+
+  ++stats_.timeouts;
+  ch->consecutive_retries++;
+  if (ch->consecutive_retries > config_.retransmit_unbind_limit) {
+    // Unbind the message from the channel so the channel can be reused;
+    // a later retransmission reacquires and rebinds (§5.1).
+    ++stats_.channel_unbinds;
+    ch->busy = false;
+    ch->timer_gen++;
+    const std::uint32_t idx = ch->pending.frag_index;
+    if (idx < desc->frag_state.size()) {
+      desc->frag_state[idx] = SendDescriptor::FragState::kUnsent;
+    }
+    work_.notify_all();
+    co_return true;
+  }
+
+  co_await charge(config_.instr_build_packet);
+  ch->pending.timestamp = nic_timestamp();
+  ch->timer_gen++;
+  ch->sent_at = engine_->now();
+  ch->was_retransmitted = true;  // Karn: no RTT sample from this exchange
+  ++stats_.retransmissions;
+  co_await inject(ch->pending);
+  arm_timer(*ch, backoff_for(*ch, ch->consecutive_retries));
+  co_return true;
+}
+
+sim::Duration Nic::data_timeout(NodeId peer) const {
+  if (config_.adaptive_timeout) {
+    auto it = rtt_.find(peer);
+    if (it != rtt_.end() && it->second.valid) {
+      return it->second.timeout(config_.adaptive_timeout_min);
+    }
+  }
+  return config_.retransmit_timeout;
+}
+
+sim::Duration Nic::backoff_for(const ChannelState& ch, int consecutive) const {
+  const int exp = std::min(consecutive, config_.max_backoff_exponent);
+  const auto base = data_timeout(ch.peer) << exp;
+  const double jitter = 0.75 + 0.5 * const_cast<Nic*>(this)->rng_.uniform();
+  return static_cast<sim::Duration>(static_cast<double>(base) * jitter);
+}
+
+sim::Task<> Nic::apply_positive_ack(NodeId peer, const Frame::PiggyAck& pa,
+                                    bool standalone) {
+  co_await charge((standalone ? config_.instr_ack_process
+                              : config_.instr_piggy_ack) +
+                  (standalone && config_.defensive_checks
+                       ? config_.instr_defensive
+                       : 0));
+  auto cit = channels_.find(peer);
+  if (cit == channels_.end() || pa.channel >= cit->second.size()) co_return;
+  ChannelState& ch = cit->second[pa.channel];
+  if (!ch.busy || pa.epoch != ch.epoch || pa.seq != ch.pending.seq ||
+      pa.timestamp != ch.pending.timestamp) {
+    co_return;  // stale
+  }
+  ++stats_.acks_received;
+  if (config_.adaptive_timeout && !ch.was_retransmitted) {
+    rtt_[peer].sample(engine_->now() - ch.sent_at);
+  }
+  Frame pseudo;
+  pseudo.msg_id = pa.msg_id;
+  pseudo.frag_index = pa.frag_index;
+  complete_fragment_ack(ch, pseudo);
+}
+
+void Nic::schedule_piggy_flush(NodeId peer) {
+  if (piggy_flush_scheduled_.count(peer) != 0) return;
+  piggy_flush_scheduled_.insert(peer);
+  engine_->after(config_.piggyback_delay, [this, peer] {
+    piggy_flush_scheduled_.erase(peer);
+    auto it = pending_acks_.find(peer);
+    if (it == pending_acks_.end() || it->second.empty()) return;
+    engine_->spawn([](Nic* nic, NodeId p) -> sim::Process {
+      co_await nic->flush_pending_acks(p);
+    }(this, peer));
+  });
+}
+
+sim::Task<> Nic::flush_pending_acks(NodeId peer) {
+  auto it = pending_acks_.find(peer);
+  if (it == pending_acks_.end() || it->second.empty()) co_return;
+  auto pending = std::move(it->second);
+  it->second.clear();
+  ++stats_.piggy_flushes;
+  co_await charge(config_.instr_ack_generate);
+  // One standalone ack frame carries the first entry in its main fields
+  // and the rest piggybacked.
+  Frame a;
+  a.kind = FrameKind::kAck;
+  a.src_node = node_;
+  a.dst_node = peer;
+  a.channel = pending[0].channel;
+  a.epoch = pending[0].epoch;
+  a.acked_seq = pending[0].seq;
+  a.timestamp = pending[0].timestamp;
+  a.msg_id = pending[0].msg_id;
+  a.frag_index = pending[0].frag_index;
+  a.piggy_acks.assign(pending.begin() + 1, pending.end());
+  ++stats_.acks_sent;
+  co_await inject(std::move(a));
+}
+
+// ------------------------------------------------------------- driver ops
+
+sim::Task<> Nic::handle_driver(DriverOp op) {
+  bump_lamport(op.lamport);
+  ++stats_.driver_ops;
+  co_await charge(config_.instr_driver_op);
+  switch (op.kind) {
+    case DriverOp::Kind::kCreate:
+      directory_[op.ep->id] = op.ep;
+      if (op.done) op.done->open();
+      break;
+    case DriverOp::Kind::kLoad: {
+      EndpointState& ep = *op.ep;
+      if (!ep.resident()) {
+        assert(op.frame >= 0 &&
+               op.frame < static_cast<int>(frames_.size()) &&
+               frames_[op.frame].ep == nullptr);
+        // The endpoint image moves host -> NIC SRAM over the SBUS.
+        co_await sbus_.transfer(kEndpointImageBytes, SbusDma::Dir::kReadHost);
+        frames_[op.frame].ep = &ep;
+        ep.frame = op.frame;
+        ++stats_.frames_loaded;
+        resident_requested_.erase(ep.id);
+      }
+      if (op.done) op.done->open();
+      work_.notify_all();
+      break;
+    }
+    case DriverOp::Kind::kUnload:
+    case DriverOp::Kind::kDestroy:
+      // Quiescence required first (§5.3): park it; the firmware loop
+      // completes it once all in-flight fragments are accounted for.
+      draining_.insert(op.ep->id);
+      pending_unloads_.push_back(op);
+      break;
+  }
+}
+
+bool Nic::endpoint_quiescent(const EndpointState& ep) const {
+  for (const auto& [peer, chans] : channels_) {
+    for (const auto& ch : chans) {
+      if (ch.busy && ch.src_ep == &ep) return false;
+    }
+  }
+  return true;
+}
+
+sim::Task<bool> Nic::process_unloads() {
+  for (std::size_t i = 0; i < pending_unloads_.size(); ++i) {
+    EndpointState& ep = *pending_unloads_[i].ep;
+    if (!endpoint_quiescent(ep)) continue;
+    DriverOp op = pending_unloads_[i];
+    pending_unloads_.erase(pending_unloads_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+    co_await charge(config_.instr_driver_op);
+    if (loiter_ep_ == &ep) loiter_ep_ = nullptr;  // about to unbind / free
+    if (ep.resident()) {
+      // Image moves NIC SRAM -> host memory.
+      co_await sbus_.transfer(kEndpointImageBytes, SbusDma::Dir::kWriteHost);
+      frames_[ep.frame].ep = nullptr;
+      ep.frame = -1;
+      ++stats_.frames_unloaded;
+    }
+    if (op.kind == DriverOp::Kind::kDestroy) {
+      directory_.erase(ep.id);
+      resident_requested_.erase(ep.id);
+      // Purge receiver-side reassembly state destined for this endpoint.
+      for (auto it = reassembly_.begin(); it != reassembly_.end();) {
+        if (it->second.dst_ep == ep.id) {
+          it = reassembly_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    draining_.erase(ep.id);
+    if (op.done) op.done->open();
+    co_return true;
+  }
+  co_return false;
+}
+
+void Nic::request_make_resident(EpId ep) {
+  if (resident_requested_.count(ep) != 0) return;
+  if (draining_.count(ep) != 0) return;  // being torn down: don't reload
+  resident_requested_.insert(ep);
+  ++stats_.remap_requests;
+  ++lamport_;
+  if (on_nic_request) {
+    on_nic_request(NicRequest{NicRequest::Kind::kMakeResident, ep, lamport_});
+  }
+}
+
+// ----------------------------------------------------------------- helpers
+
+Nic::ChannelState* Nic::find_free_channel(NodeId peer) {
+  auto& chans = channels_to(peer);
+  for (auto& ch : chans) {
+    if (!ch.busy) return &ch;
+  }
+  return nullptr;
+}
+
+std::vector<Nic::ChannelState>& Nic::channels_to(NodeId peer) {
+  auto it = channels_.find(peer);
+  if (it == channels_.end()) {
+    std::vector<ChannelState> chans(
+        static_cast<std::size_t>(config_.channels_per_peer));
+    for (std::size_t i = 0; i < chans.size(); ++i) {
+      chans[i].peer = peer;
+      chans[i].index = static_cast<std::uint16_t>(i);
+      chans[i].epoch = epoch_base_;
+    }
+    it = channels_.emplace(peer, std::move(chans)).first;
+  }
+  return it->second;
+}
+
+SendDescriptor* Nic::find_descriptor(EndpointState& ep, std::uint64_t msg_id) {
+  for (auto& d : ep.send_queue) {
+    if (d.msg_id == msg_id && !d.finished()) return &d;
+  }
+  return nullptr;
+}
+
+void Nic::sweep_send_queue(EndpointState& ep) {
+  while (!ep.send_queue.empty() && ep.send_queue.front().finished()) {
+    ep.send_queue.pop_front();
+  }
+}
+
+void Nic::abort_descriptor(EndpointState& ep, std::uint64_t msg_id) {
+  for (auto& [peer, chans] : channels_) {
+    for (auto& ch : chans) {
+      if (ch.busy && ch.src_ep == &ep && ch.pending.msg_id == msg_id) {
+        ch.busy = false;
+        ch.timer_gen++;
+      }
+    }
+  }
+}
+
+void Nic::return_to_sender(EndpointState& ep, std::uint64_t msg_id,
+                           NackReason reason) {
+  SendDescriptor* desc = find_descriptor(ep, msg_id);
+  if (desc == nullptr) return;
+  SendDescriptor copy = *desc;
+  desc->returned = true;
+  abort_descriptor(ep, msg_id);
+  ++ep.msgs_returned;
+  ++stats_.returned_to_sender;
+  sweep_send_queue(ep);
+  if (ep.on_return_to_sender) ep.on_return_to_sender(std::move(copy), reason);
+  if (ep.on_send_progress) ep.on_send_progress();
+  work_.notify_all();
+}
+
+}  // namespace vnet::lanai

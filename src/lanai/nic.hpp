@@ -1,0 +1,333 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "lanai/config.hpp"
+#include "lanai/endpoint_state.hpp"
+#include "lanai/frame.hpp"
+#include "lanai/sbus.hpp"
+#include "myrinet/fabric.hpp"
+#include "sim/engine.hpp"
+#include "sim/process.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace vnet::lanai {
+
+/// Bytes occupied by one endpoint image: the LANai 4.3 reserves 64 KB of
+/// SRAM for 8 endpoint frames (§4.1), so 8 KB each. Loading/unloading an
+/// endpoint moves this much across the SBUS.
+inline constexpr std::uint32_t kEndpointImageBytes = 8192;
+
+/// An operation the segment driver asks the NIC to perform, sent over the
+/// permanently-resident system endpoint (§4.3). The driver awaits `done`.
+struct DriverOp {
+  enum class Kind {
+    kCreate,   ///< register an endpoint in the NIC directory (non-resident)
+    kDestroy,  ///< quiesce, unbind and forget an endpoint
+    kLoad,     ///< make resident: DMA the image in, bind to `frame`
+    kUnload,   ///< quiesce, DMA the image out, unbind
+  };
+  Kind kind;
+  EndpointState* ep = nullptr;
+  int frame = -1;
+  std::uint64_t lamport = 0;
+  sim::Gate* done = nullptr;
+};
+
+/// A request the NIC makes of the driver (§4.3), e.g. activating a
+/// non-resident endpoint in response to message arrival.
+struct NicRequest {
+  enum class Kind { kMakeResident };
+  Kind kind = Kind::kMakeResident;
+  EpId ep = kInvalidEp;
+  std::uint64_t lamport = 0;
+};
+
+struct NicStats {
+  std::uint64_t data_sent = 0;
+  std::uint64_t data_received = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t acks_received = 0;
+  std::uint64_t nacks_sent = 0;
+  std::uint64_t nacks_received = 0;
+  std::uint64_t nacks_sent_by_reason[8] = {};
+  std::uint64_t retransmissions = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t channel_unbinds = 0;
+  std::uint64_t returned_to_sender = 0;
+  std::uint64_t crc_drops = 0;
+  std::uint64_t gam_drops = 0;  ///< receive-queue drops in GAM mode
+  std::uint64_t duplicates_suppressed = 0;
+  std::uint64_t local_deliveries = 0;
+  std::uint64_t remap_requests = 0;
+  std::uint64_t driver_ops = 0;
+  std::uint64_t msgs_completed = 0;  ///< fully acknowledged messages
+  std::uint64_t frames_loaded = 0;
+  std::uint64_t frames_unloaded = 0;
+  std::uint64_t acks_piggybacked = 0;  ///< acks carried on data frames
+  std::uint64_t piggy_flushes = 0;     ///< standalone flushes of pending acks
+};
+
+/// The simulated LANai network interface.
+///
+/// One firmware coroutine implements the dispatch loop of §5: it drains
+/// arriving packets, interleaves driver/NI protocol operations, retransmits
+/// timed-out channels, and services resident endpoints with a weighted
+/// round-robin discipline that loiters on busy endpoints for at most
+/// `loiter_descriptors` messages / `loiter_time` (§5.2). Every action
+/// charges instructions at 37.5 MHz, which is what makes the NIC — not the
+/// host — the rate-limiting stage for small-message streams (Fig 3's g).
+///
+/// With `config.reliable_transport == false` the same device runs the
+/// first-generation GAM firmware used as the baseline in Figs 3 and 4:
+/// single endpoint, no keys, no acknowledgments or retransmission.
+class Nic {
+ public:
+  Nic(sim::Engine& engine, myrinet::Fabric& fabric, NodeId node,
+      NicConfig config);
+
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  /// Spawns the firmware loop. Call once after construction.
+  void start();
+
+  NodeId node() const { return node_; }
+  const NicConfig& config() const { return config_; }
+  SbusDma& sbus() { return sbus_; }
+  const NicStats& stats() const { return stats_; }
+
+  /// 32-bit NIC clock (~1 us granularity), stamped into link headers and
+  /// echoed by acknowledgments (§5.1).
+  std::uint32_t nic_timestamp() const {
+    return static_cast<std::uint32_t>(engine_->now() >> 10);
+  }
+
+  // ---- host-side interface ----
+
+  /// Doorbell: the host wrote a send descriptor into a resident endpoint.
+  void doorbell(EndpointState& ep);
+
+  // ---- driver/NI protocol (§4.3) ----
+
+  /// Enqueues a driver operation; the NIC interleaves it with message
+  /// processing and opens `op.done` when complete.
+  void submit(DriverOp op);
+
+  /// Upcall to the segment driver (make-resident requests).
+  std::function<void(NicRequest)> on_nic_request;
+
+  /// Lamport clock value of the NIC, for event-order resolution between
+  /// the driver and NIC (§4.3).
+  std::uint64_t lamport() const { return lamport_; }
+
+  // ---- introspection ----
+
+  int endpoint_frames() const { return static_cast<int>(frames_.size()); }
+  EndpointState* frame_occupant(int i) const { return frames_[i].ep; }
+  int free_frames() const;
+  bool directory_contains(EpId ep) const {
+    return directory_.count(ep) != 0;
+  }
+
+  // Debug introspection.
+  std::size_t pending_unload_count() const { return pending_unloads_.size(); }
+  int busy_channel_count() const {
+    int n = 0;
+    for (const auto& [peer, chans] : channels_) {
+      for (const auto& ch : chans) {
+        if (ch.busy) ++n;
+      }
+    }
+    return n;
+  }
+  std::size_t resident_requested_count() const {
+    return resident_requested_.size();
+  }
+  std::size_t draining_count() const { return draining_.size(); }
+
+  /// Current smoothed RTT estimate to `peer` (0 if none yet); §8 extension.
+  sim::Duration rtt_estimate(NodeId peer) const {
+    auto it = rtt_.find(peer);
+    return it != rtt_.end() && it->second.valid
+               ? static_cast<sim::Duration>(it->second.srtt_ns)
+               : 0;
+  }
+
+  /// Simulates a NIC reboot: all channel sequencing state is lost and
+  /// epochs advance, exercising the self-synchronizing re-initialization
+  /// of §5.1. Endpoint bindings survive (they live in battery of the
+  /// driver protocol, not the channel layer).
+  void reboot();
+
+ private:
+  struct ChannelState {
+    NodeId peer = myrinet::kInvalidNode;
+    std::uint16_t index = 0;
+    bool busy = false;
+    std::uint8_t next_seq = 0;
+    std::uint32_t epoch = 1;
+    std::uint64_t timer_gen = 0;
+    int consecutive_retries = 0;
+    Frame pending;               // retransmission template
+    EndpointState* src_ep = nullptr;
+    std::size_t route_index = 0;
+    sim::Time sent_at = 0;       // of the most recent (re)transmission
+    bool was_retransmitted = false;  // Karn: skip RTT samples
+  };
+
+  /// §8 extension: per-peer Jacobson RTT estimator fed by ack timestamps.
+  struct RttEstimator {
+    bool valid = false;
+    double srtt_ns = 0;
+    double rttvar_ns = 0;
+    void sample(sim::Duration rtt) {
+      const auto r = static_cast<double>(rtt);
+      if (!valid) {
+        valid = true;
+        srtt_ns = r;
+        rttvar_ns = r / 2;
+      } else {
+        const double err = r - srtt_ns;
+        srtt_ns += 0.125 * err;
+        rttvar_ns += 0.25 * ((err < 0 ? -err : err) - rttvar_ns);
+      }
+    }
+    sim::Duration timeout(sim::Duration floor_value) const {
+      const auto t = static_cast<sim::Duration>(srtt_ns + 4 * rttvar_ns);
+      return t < floor_value ? floor_value : t;
+    }
+  };
+
+  /// Receive-side sequencing state per (peer, channel).
+  struct RecvChannelState {
+    bool have_seq = false;
+    std::uint8_t last_seq = 0;
+    std::uint32_t epoch = 0;
+  };
+
+  /// In-progress multi-fragment message at the receiver.
+  struct Reassembly {
+    RecvEntry entry;
+    std::unordered_set<std::uint32_t> frags;
+    EpId dst_ep = kInvalidEp;
+    bool is_request = true;
+  };
+
+  /// Recently delivered message ids per source endpoint, for exactly-once
+  /// delivery across channel rebinds.
+  struct DeliveredWindow {
+    std::deque<std::uint64_t> order;
+    std::unordered_set<std::uint64_t> set;
+    void remember(std::uint64_t id);
+    bool contains(std::uint64_t id) const { return set.count(id) != 0; }
+  };
+
+  struct FrameSlot {
+    EndpointState* ep = nullptr;
+  };
+
+  using PeerKey = std::uint64_t;
+  static PeerKey peer_key(NodeId node, std::uint16_t ch) {
+    return (static_cast<PeerKey>(static_cast<std::uint32_t>(node)) << 16) | ch;
+  }
+
+  // --- firmware ---
+  sim::Process firmware_loop();
+  bool work_pending() const;
+  bool has_sendable(const EndpointState& ep) const;
+  sim::Task<bool> service_step();
+  sim::Task<bool> service_endpoint(EndpointState& ep);
+  sim::Task<bool> start_fragment(EndpointState& ep, SendDescriptor& desc);
+  sim::Task<bool> deliver_local(EndpointState& src, SendDescriptor& desc,
+                                EpId dst_ep, std::uint64_t key);
+  sim::Task<bool> handle_rx(myrinet::Packet pkt);
+  sim::Task<> handle_data(Frame f);
+  sim::Task<> handle_ack_or_nack(const Frame& f);
+  sim::Task<> handle_driver(DriverOp op);
+  sim::Task<bool> handle_retransmit(ChannelState* ch);
+  sim::Task<> accept_fragment(EndpointState& ep, const Frame& f,
+                              std::deque<RecvEntry>& queue,
+                              std::uint32_t& reserved);
+  sim::Task<> send_ack(const Frame& data);
+  sim::Task<> send_nack(const Frame& data, NackReason r);
+  sim::Task<> apply_positive_ack(NodeId peer, const Frame::PiggyAck& pa,
+                                 bool standalone);
+  void schedule_piggy_flush(NodeId peer);
+  sim::Task<> flush_pending_acks(NodeId peer);
+  sim::Duration data_timeout(NodeId peer) const;
+  sim::Task<> inject(Frame f);
+  sim::Task<bool> process_unloads();
+  void request_make_resident(EpId ep);
+
+  // --- helpers ---
+  sim::Duration instr(int count) const { return config_.instr(count); }
+  sim::Task<> charge(int instructions) {
+    co_await engine_->delay(instr(instructions));
+  }
+  ChannelState* find_free_channel(NodeId peer);
+  std::vector<ChannelState>& channels_to(NodeId peer);
+  void arm_timer(ChannelState& ch, sim::Duration timeout);
+  sim::Duration backoff_for(const ChannelState& ch, int consecutive) const;
+  sim::Duration nack_backoff(int consecutive) const;
+  SendDescriptor* find_descriptor(EndpointState& ep, std::uint64_t msg_id);
+  void sweep_send_queue(EndpointState& ep);
+  void complete_fragment_ack(ChannelState& ch, const Frame& ack);
+  void abort_descriptor(EndpointState& ep, std::uint64_t msg_id);
+  void return_to_sender(EndpointState& ep, std::uint64_t msg_id,
+                        NackReason reason);
+  bool endpoint_quiescent(const EndpointState& ep) const;
+  void bump_lamport(std::uint64_t seen) {
+    lamport_ = (seen > lamport_ ? seen : lamport_) + 1;
+  }
+
+  sim::Engine* engine_;
+  myrinet::Fabric* fabric_;
+  myrinet::Station* station_;
+  NodeId node_;
+  NicConfig config_;
+  SbusDma sbus_;
+
+  sim::CondVar work_;
+  sim::Mailbox<myrinet::Packet> rx_;
+  sim::Mailbox<DriverOp> driver_ops_;
+  std::deque<ChannelState*> due_retransmits_;
+  std::vector<DriverOp> pending_unloads_;
+
+  std::vector<FrameSlot> frames_;
+  std::size_t rr_cursor_ = 0;
+  // Loiter state (§5.2): the endpoint currently being served, with its
+  // remaining descriptor/time budget. Persists across dispatch-loop
+  // iterations so receive processing interleaves with transmission.
+  EndpointState* loiter_ep_ = nullptr;
+  int loiter_budget_ = 0;
+  sim::Time loiter_deadline_ = 0;
+  std::unordered_map<EpId, EndpointState*> directory_;
+  std::unordered_set<EpId> draining_;
+  std::unordered_set<EpId> resident_requested_;
+
+  std::unordered_map<NodeId, std::vector<ChannelState>> channels_;
+  std::unordered_map<PeerKey, RecvChannelState> recv_channels_;
+  std::unordered_map<NodeId, RttEstimator> rtt_;
+  std::unordered_map<NodeId, std::vector<Frame::PiggyAck>> pending_acks_;
+  std::unordered_set<NodeId> piggy_flush_scheduled_;
+  std::map<std::tuple<NodeId, EpId, std::uint64_t>, Reassembly> reassembly_;
+  std::unordered_map<PeerKey, DeliveredWindow> delivered_;
+
+  std::uint64_t lamport_ = 0;
+  std::uint32_t epoch_base_ = 1;
+  std::uint64_t next_packet_id_ = 1;
+  sim::Rng rng_;
+  NicStats stats_;
+  bool started_ = false;
+};
+
+}  // namespace vnet::lanai

@@ -1,0 +1,170 @@
+#include "myrinet/fabric.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace vnet::myrinet {
+
+Channel* Fabric::new_channel() {
+  channels_.push_back(std::make_unique<Channel>(*engine_, params_.link));
+  Channel* c = channels_.back().get();
+  install_fault_filter(c);
+  return c;
+}
+
+void Fabric::install_fault_filter(Channel* c) {
+  c->fault_filter = [this](Packet& p) {
+    if (params_.drop_probability > 0.0 &&
+        fault_rng_.chance(params_.drop_probability)) {
+      ++injected_drops_;
+      return true;
+    }
+    if (params_.corrupt_probability > 0.0 &&
+        fault_rng_.chance(params_.corrupt_probability)) {
+      ++injected_corruptions_;
+      p.corrupt = true;
+    }
+    return false;
+  };
+}
+
+std::unique_ptr<Fabric> Fabric::crossbar(sim::Engine& engine, int hosts,
+                                         const FabricParams& params) {
+  if (hosts < 1) throw std::invalid_argument("crossbar: hosts must be >= 1");
+  auto fabric = std::unique_ptr<Fabric>(new Fabric(engine, params));
+  fabric->topology_ = Topology::kCrossbar;
+
+  fabric->switches_.push_back(
+      std::make_unique<Switch>(engine, hosts, params.sw));
+  Switch& sw = *fabric->switches_.back();
+
+  for (NodeId h = 0; h < hosts; ++h) {
+    fabric->stations_.push_back(std::make_unique<Station>(engine, h));
+    Station& st = *fabric->stations_.back();
+    Channel* up = fabric->new_channel();    // host -> switch
+    Channel* down = fabric->new_channel();  // switch -> host
+    st.attach_tx(up);
+    sw.attach_rx(h, up);
+    sw.attach_tx(h, down);
+    st.attach_rx(down);
+    fabric->host_links_.push_back({up, down});
+  }
+
+  fabric->build_route_table();
+  return fabric;
+}
+
+std::unique_ptr<Fabric> Fabric::fat_tree(sim::Engine& engine, int hosts,
+                                         int hosts_per_leaf, int spines,
+                                         const FabricParams& params) {
+  if (hosts < 1 || hosts_per_leaf < 1 || spines < 1) {
+    throw std::invalid_argument("fat_tree: all dimensions must be >= 1");
+  }
+  auto fabric = std::unique_ptr<Fabric>(new Fabric(engine, params));
+  fabric->topology_ = Topology::kFatTree;
+  fabric->hosts_per_leaf_ = hosts_per_leaf;
+  fabric->spines_ = spines;
+
+  const int leaves = (hosts + hosts_per_leaf - 1) / hosts_per_leaf;
+
+  // Leaf switch l: ports [0, hosts_per_leaf) to hosts, ports
+  // [hosts_per_leaf, hosts_per_leaf + spines) to spines.
+  // Spine switch s: port l to leaf l.
+  for (int l = 0; l < leaves; ++l) {
+    fabric->switches_.push_back(std::make_unique<Switch>(
+        engine, hosts_per_leaf + spines, params.sw));
+  }
+  for (int s = 0; s < spines; ++s) {
+    fabric->switches_.push_back(
+        std::make_unique<Switch>(engine, leaves, params.sw));
+  }
+  auto leaf = [&](int l) -> Switch& { return *fabric->switches_[l]; };
+  auto spine = [&](int s) -> Switch& {
+    return *fabric->switches_[leaves + s];
+  };
+
+  for (NodeId h = 0; h < hosts; ++h) {
+    fabric->stations_.push_back(std::make_unique<Station>(engine, h));
+    Station& st = *fabric->stations_.back();
+    const int l = h / hosts_per_leaf;
+    const int port = h % hosts_per_leaf;
+    Channel* up = fabric->new_channel();
+    Channel* down = fabric->new_channel();
+    st.attach_tx(up);
+    leaf(l).attach_rx(port, up);
+    leaf(l).attach_tx(port, down);
+    st.attach_rx(down);
+    fabric->host_links_.push_back({up, down});
+  }
+
+  for (int l = 0; l < leaves; ++l) {
+    for (int s = 0; s < spines; ++s) {
+      Channel* up = fabric->new_channel();    // leaf -> spine
+      Channel* down = fabric->new_channel();  // spine -> leaf
+      leaf(l).attach_tx(hosts_per_leaf + s, up);
+      spine(s).attach_rx(l, up);
+      spine(s).attach_tx(l, down);
+      leaf(l).attach_rx(hosts_per_leaf + s, down);
+    }
+  }
+
+  fabric->build_route_table();
+  return fabric;
+}
+
+std::vector<Route> Fabric::compute_routes(NodeId src, NodeId dst) const {
+  std::vector<Route> out;
+  if (src == dst) return out;
+  switch (topology_) {
+    case Topology::kCrossbar:
+      out.push_back(Route{static_cast<std::uint8_t>(dst)});
+      break;
+    case Topology::kFatTree: {
+      const int src_leaf = src / hosts_per_leaf_;
+      const int dst_leaf = dst / hosts_per_leaf_;
+      const auto dst_port = static_cast<std::uint8_t>(dst % hosts_per_leaf_);
+      if (src_leaf == dst_leaf) {
+        out.push_back(Route{dst_port});
+      } else {
+        // One route per spine; rotate the starting spine by (src + dst) so
+        // static channel-to-route bindings spread load across the spines.
+        for (int k = 0; k < spines_; ++k) {
+          const int s = (src + dst + k) % spines_;
+          out.push_back(Route{
+              static_cast<std::uint8_t>(hosts_per_leaf_ + s),
+              static_cast<std::uint8_t>(dst_leaf),
+              dst_port,
+          });
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+void Fabric::build_route_table() {
+  const auto n = static_cast<std::size_t>(num_hosts());
+  route_table_.resize(n * n);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t d = 0; d < n; ++d) {
+      route_table_[s * n + d] = compute_routes(static_cast<NodeId>(s),
+                                               static_cast<NodeId>(d));
+    }
+  }
+}
+
+void Fabric::set_host_link(NodeId id, bool up) {
+  auto& hl = host_links_[static_cast<std::size_t>(id)];
+  hl.to_switch->set_up(up);
+  hl.from_switch->set_up(up);
+}
+
+int Fabric::max_queue_watermark() const {
+  int w = 0;
+  for (const auto& sw : switches_) w = std::max(w, sw->high_watermark());
+  return w;
+}
+
+}  // namespace vnet::myrinet

@@ -1,0 +1,125 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "myrinet/link.hpp"
+#include "myrinet/packet.hpp"
+#include "myrinet/station.hpp"
+#include "myrinet/switch.hpp"
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+
+namespace vnet::myrinet {
+
+/// A source route: the output port to take at each successive switch.
+using Route = std::vector<std::uint8_t>;
+
+struct FabricParams {
+  LinkParams link;
+  SwitchParams sw;
+  /// Probability that any given wire crossing drops / corrupts the packet.
+  /// Transmission errors on Myrinet are rare (§3.2) but must be survivable.
+  double drop_probability = 0.0;
+  double corrupt_probability = 0.0;
+  std::uint64_t fault_seed = 0x5eed;
+};
+
+/// The interconnect: stations (host attachment points), switches, links,
+/// precomputed multi-path source routes, and fault injection.
+///
+/// Two topologies are provided:
+///  * crossbar(n): one switch, for unit tests and 2-node microbenchmarks;
+///  * fat_tree(n, hosts_per_leaf, spines): the "fat-tree like" NOW network
+///    of §2 — leaf switches with `hosts_per_leaf` hosts and one uplink to
+///    each of `spines` spine switches. With 100 hosts, 5 hosts/leaf and 3
+///    spines this gives 23 switches / 160 links, comparable to the paper's
+///    25 switches / 185 links, with `spines` distinct paths between any two
+///    hosts on different leaves (used by the transport's logical channels
+///    for multi-path routing, §5.1).
+class Fabric {
+ public:
+  static std::unique_ptr<Fabric> crossbar(sim::Engine& engine, int hosts,
+                                          const FabricParams& params = {});
+
+  static std::unique_ptr<Fabric> fat_tree(sim::Engine& engine, int hosts,
+                                          int hosts_per_leaf, int spines,
+                                          const FabricParams& params = {});
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  int num_hosts() const { return static_cast<int>(stations_.size()); }
+  int num_switches() const { return static_cast<int>(switches_.size()); }
+  int num_links() const { return static_cast<int>(channels_.size()) / 2; }
+
+  Station& station(NodeId id) { return *stations_[static_cast<size_t>(id)]; }
+
+  /// All precomputed distinct routes from src to dst, shortest first. Empty
+  /// iff src == dst (local loopback never enters the fabric).
+  const std::vector<Route>& routes(NodeId src, NodeId dst) const {
+    return route_table_[static_cast<std::size_t>(src) *
+                            static_cast<std::size_t>(num_hosts()) +
+                        static_cast<std::size_t>(dst)];
+  }
+
+  /// Connects or disconnects a host from the network (both directions).
+  /// Models node crash / cable pull for the return-to-sender tests.
+  void set_host_link(NodeId id, bool up);
+
+  /// Adjusts fault injection rates at runtime.
+  void set_fault_rates(double drop_p, double corrupt_p) {
+    params_.drop_probability = drop_p;
+    params_.corrupt_probability = corrupt_p;
+  }
+
+  std::uint64_t injected_drops() const { return injected_drops_; }
+  std::uint64_t injected_corruptions() const { return injected_corruptions_; }
+
+  /// Aggregate congestion indicator across all switches.
+  int max_queue_watermark() const;
+
+  const std::vector<std::unique_ptr<Switch>>& switches() const {
+    return switches_;
+  }
+
+ private:
+  explicit Fabric(sim::Engine& engine, const FabricParams& params)
+      : engine_(&engine), params_(params), fault_rng_(params.fault_seed) {}
+
+  Channel* new_channel();
+  void install_fault_filter(Channel* c);
+  void build_route_table();
+
+  // Topology-specific route enumeration.
+  std::vector<Route> compute_routes(NodeId src, NodeId dst) const;
+
+  sim::Engine* engine_;
+  FabricParams params_;
+  sim::Rng fault_rng_;
+
+  std::vector<std::unique_ptr<Station>> stations_;
+  std::vector<std::unique_ptr<Switch>> switches_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::vector<Route> flat_empty_;
+  std::vector<std::vector<Route>> route_table_;
+
+  // Host link channels for set_host_link: [host] -> {to_switch, from_switch}.
+  struct HostLink {
+    Channel* to_switch = nullptr;
+    Channel* from_switch = nullptr;
+  };
+  std::vector<HostLink> host_links_;
+
+  // Topology description used by compute_routes.
+  enum class Topology { kCrossbar, kFatTree };
+  Topology topology_ = Topology::kCrossbar;
+  int hosts_per_leaf_ = 0;
+  int spines_ = 0;
+
+  std::uint64_t injected_drops_ = 0;
+  std::uint64_t injected_corruptions_ = 0;
+};
+
+}  // namespace vnet::myrinet

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "myrinet/packet.hpp"
+#include "sim/engine.hpp"
+
+namespace vnet::myrinet {
+
+/// Parameters of one link direction.
+struct LinkParams {
+  /// Serialization rate. Default 6.25 ns/B = 160 MB/s per direction,
+  /// matching Myrinet's 1.28 Gb/s links.
+  double ns_per_byte = 6.25;
+  /// Propagation delay of the cable itself (switch cut-through latency is
+  /// charged separately by the Switch).
+  sim::Duration propagation = 25 * sim::ns;
+  /// Receiver-side buffer slots. Myrinet has ~7 bytes of buffering per hop —
+  /// essentially wormhole — so keep this small: when the receiver cannot
+  /// drain, the sender stalls almost immediately and congestion spreads
+  /// upstream, as described in §2 of the paper.
+  int credits = 2;
+};
+
+/// One direction of a link: a transmitter owned by the upstream device and
+/// a receiver owned by the downstream device, with credit-based flow
+/// control approximating Myrinet's link-level back-pressure.
+///
+/// Protocol:
+///   * the owner checks can_send() and calls send(); the wire is busy for
+///     wire_bytes * ns_per_byte, then `on_tx_done` fires (so the owner can
+///     start the next packet) and the packet arrives downstream after the
+///     propagation delay;
+///   * each send consumes a credit; the downstream device returns it with
+///     release_credit() once it has moved the packet out of the input
+///     buffer. With no credits the sender stalls — back-pressure.
+class Channel {
+ public:
+  Channel(sim::Engine& engine, LinkParams params)
+      : engine_(&engine), params_(params), credits_(params.credits) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Downstream delivery hook (set by the owning device at wiring time).
+  std::function<void(Packet)> on_deliver;
+  /// Fired when the transmitter becomes idle and can accept another packet.
+  std::function<void()> on_tx_ready;
+  /// Optional fault hook, called once per packet as it crosses the wire.
+  /// May mutate the packet (e.g. set `corrupt`); returning true drops it.
+  std::function<bool(Packet&)> fault_filter;
+
+  // A down link still "accepts" packets — they are dropped in flight, like
+  // bits pushed into an unplugged cable — so senders never stall on it.
+  bool can_send() const { return !busy_ && credits_ > 0; }
+  bool is_up() const { return up_; }
+
+  /// Starts transmitting `p`. Precondition: can_send().
+  void send(Packet p) {
+    busy_ = true;
+    --credits_;
+    const auto ser = static_cast<sim::Duration>(
+        static_cast<double>(p.wire_bytes) * params_.ns_per_byte);
+    bytes_sent_ += p.wire_bytes;
+    ++packets_sent_;
+    engine_->after(ser, [this, p = std::move(p)]() mutable {
+      busy_ = false;
+      const bool drop = !up_ || (fault_filter && fault_filter(p));
+      if (!drop) {
+        engine_->after(params_.propagation, [this, p = std::move(p)]() mutable {
+          if (on_deliver) on_deliver(std::move(p));
+        });
+      } else {
+        ++packets_dropped_;
+        // A dropped packet never reaches the receiver, so its credit can
+        // never be returned from downstream; refund it here.
+        ++credits_;
+      }
+      if (on_tx_ready) on_tx_ready();
+    });
+  }
+
+  /// Returns one buffer credit to the sender (called by the downstream
+  /// device when the packet leaves its input stage).
+  void release_credit() {
+    // Credit return travels back over the wire; model the propagation.
+    engine_->after(params_.propagation, [this] {
+      ++credits_;
+      if (!busy_ && on_tx_ready) on_tx_ready();
+    });
+  }
+
+  /// Takes the link down: in-flight and future packets are dropped until
+  /// set_up(true). Models the hot-swap scenarios of §3.2.
+  void set_up(bool up) {
+    up_ = up;
+    if (up_ && !busy_ && on_tx_ready) on_tx_ready();
+  }
+
+  int credits() const { return credits_; }
+  bool busy() const { return busy_; }
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t packets_dropped() const { return packets_dropped_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  const LinkParams& params() const { return params_; }
+
+ private:
+  sim::Engine* engine_;
+  LinkParams params_;
+  int credits_;
+  bool busy_ = false;
+  bool up_ = true;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t packets_dropped_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace vnet::myrinet

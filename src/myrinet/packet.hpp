@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace vnet::myrinet {
+
+/// Index of a host (station) attached to the fabric.
+using NodeId = std::int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Base class for the opaque payload the fabric carries. The NIC layer
+/// (lanai) derives its transport frame from this; the fabric itself only
+/// looks at the link header fields in Packet.
+struct Payload {
+  virtual ~Payload() = default;
+};
+
+/// Bytes of link-level framing added to every packet on the wire (Myrinet
+/// route bytes, type, CRC).
+inline constexpr std::uint32_t kLinkHeaderBytes = 8;
+
+/// A packet in flight. Myrinet is source-routed: `route` holds the output
+/// port to take at each successive switch; `route_pos` advances per hop.
+struct Packet {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::vector<std::uint8_t> route;
+  std::uint32_t route_pos = 0;
+  /// Total size on the wire, including link and transport headers.
+  std::uint32_t wire_bytes = 0;
+  /// Set by fault injection; receiving NICs drop corrupt packets after the
+  /// CRC check (contributing to transport retransmissions).
+  bool corrupt = false;
+  /// Injection timestamp, for end-to-end fabric latency accounting.
+  sim::Time injected_at = 0;
+  /// Unique id for tracing.
+  std::uint64_t id = 0;
+  std::unique_ptr<Payload> payload;
+};
+
+}  // namespace vnet::myrinet

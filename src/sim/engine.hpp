@@ -1,0 +1,120 @@
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <unordered_set>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+#include "sim/unique_function.hpp"
+
+namespace vnet::sim {
+
+class Process;
+
+/// The discrete-event simulation engine: one shared clock, one event queue,
+/// and ownership of every live coroutine process.
+///
+/// Components schedule plain callbacks with at()/after(), or run as
+/// coroutine Processes (see process.hpp) that `co_await engine.delay(d)` and
+/// the synchronization primitives in sync.hpp. All coroutine resumption goes
+/// through the event queue — never inline — so execution order is a pure
+/// function of (time, insertion order) and runs are reproducible.
+///
+/// Single-threaded by design: a cluster simulation is one logical timeline.
+class Engine {
+ public:
+  explicit Engine(std::uint64_t seed = 1) : rng_(seed) {}
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Destroys all still-suspended process frames (servers, firmware loops).
+  ~Engine();
+
+  /// Tears down all live processes and pending events *now*. Call before
+  /// destroying objects that process locals reference (hosts, fabrics) —
+  /// Cluster does this in its destructor to fix teardown order.
+  void shutdown();
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (must be >= now()).
+  void at(Time t, UniqueFunction fn) { queue_.push(clamp(t), std::move(fn)); }
+
+  /// Schedules `fn` after a relative delay `d` (must be >= 0).
+  void after(Duration d, UniqueFunction fn) {
+    queue_.push(now_ + d, std::move(fn));
+  }
+
+  /// Schedules coroutine `h` to be resumed at the current time, after all
+  /// events already queued for this instant.
+  void post(std::coroutine_handle<> h) {
+    queue_.push(now_, [h] { h.resume(); });
+  }
+
+  /// Schedules coroutine `h` to be resumed at absolute time `t`.
+  void resume_at(Time t, std::coroutine_handle<> h) {
+    queue_.push(clamp(t), [h] { h.resume(); });
+  }
+
+  /// Takes ownership of a process coroutine and schedules its first step at
+  /// the current time. The frame is destroyed when the coroutine finishes,
+  /// or by ~Engine if it never does.
+  void spawn(Process p);
+
+  /// Awaitable: suspends the calling process for `d` nanoseconds.
+  auto delay(Duration d) {
+    struct Awaiter {
+      Engine& engine;
+      Duration d;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        engine.resume_at(engine.now_ + d, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, d};
+  }
+
+  /// Runs the single earliest event. Returns false if the queue is empty.
+  bool step();
+
+  /// Runs until the queue is empty. Returns the number of events processed.
+  std::size_t run();
+
+  /// Runs all events with timestamp <= t, then sets now() = t.
+  std::size_t run_until(Time t);
+
+  /// Runs for `d` more nanoseconds of simulated time.
+  std::size_t run_for(Duration d) { return run_until(now_ + d); }
+
+  /// Engine-owned random stream. Components should fork their own stream
+  /// once via rng().split() rather than drawing from this repeatedly.
+  Rng& rng() { return rng_; }
+
+  std::size_t pending_events() const { return queue_.size(); }
+  std::size_t live_processes() const { return processes_.size(); }
+  std::uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  friend class Process;
+
+  // Called from a process's final suspend point: unregister and free it.
+  void on_process_done(std::coroutine_handle<> h) {
+    processes_.erase(h.address());
+    h.destroy();
+  }
+
+  Time clamp(Time t) const { return t < now_ ? now_ : t; }
+
+  Time now_ = 0;
+  EventQueue queue_;
+  Rng rng_;
+  std::unordered_set<void*> processes_;
+  std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace vnet::sim

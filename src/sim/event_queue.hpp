@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "sim/unique_function.hpp"
+
+namespace vnet::sim {
+
+/// A priority queue of timed callbacks with deterministic tie-breaking.
+///
+/// Events at equal timestamps run in insertion order (FIFO), which makes
+/// whole-cluster simulations bit-reproducible for a given seed regardless of
+/// heap internals. Implemented as a binary min-heap over (time, sequence).
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `t`. Returns a monotonically increasing
+  /// id that can be passed to cancel().
+  std::uint64_t push(Time t, UniqueFunction fn) {
+    const std::uint64_t id = next_seq_++;
+    heap_.push_back(Entry{t, id, std::move(fn), false});
+    sift_up(heap_.size() - 1);
+    ++live_;
+    return id;
+  }
+
+  /// Lazily cancels a pending event by id. The entry stays in the heap until
+  /// it reaches the top, then is discarded without running. Cancelling an
+  /// already-fired or unknown id is a no-op (returns false).
+  bool cancel(std::uint64_t id) {
+    for (auto& e : heap_) {
+      if (e.seq == id && !e.cancelled) {
+        e.cancelled = true;
+        e.fn = UniqueFunction{};
+        --live_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
+
+  /// Time of the earliest live event. Precondition: !empty().
+  Time next_time() {
+    drop_cancelled();
+    return heap_.front().time;
+  }
+
+  /// Removes and returns the earliest live event. Precondition: !empty().
+  std::pair<Time, UniqueFunction> pop() {
+    drop_cancelled();
+    Time t = heap_.front().time;
+    UniqueFunction fn = std::move(heap_.front().fn);
+    remove_top();
+    --live_;
+    return {t, std::move(fn)};
+  }
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    UniqueFunction fn;
+    bool cancelled;
+
+    bool before(const Entry& o) const {
+      return time < o.time || (time == o.time && seq < o.seq);
+    }
+  };
+
+  void drop_cancelled() {
+    while (!heap_.empty() && heap_.front().cancelled) remove_top();
+  }
+
+  void remove_top() {
+    std::swap(heap_.front(), heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      std::size_t parent = (i - 1) / 2;
+      if (!heap_[i].before(heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t smallest = i;
+      std::size_t l = 2 * i + 1;
+      std::size_t r = 2 * i + 2;
+      if (l < n && heap_[l].before(heap_[smallest])) smallest = l;
+      if (r < n && heap_[r].before(heap_[smallest])) smallest = r;
+      if (smallest == i) break;
+      std::swap(heap_[i], heap_[smallest]);
+      i = smallest;
+    }
+  }
+
+  std::vector<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace vnet::sim

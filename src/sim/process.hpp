@@ -1,0 +1,152 @@
+#pragma once
+
+#include <coroutine>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <utility>
+
+#include "sim/engine.hpp"
+
+namespace vnet::sim {
+
+/// The coroutine type for simulation processes.
+///
+/// A process is a `Process`-returning coroutine: NIC firmware loops, host
+/// threads, and application ranks are all processes. Creating one does not
+/// run it; pass it to Engine::spawn, which takes ownership and schedules the
+/// first step. After spawn the process is detached — it lives until it runs
+/// to completion (the engine then frees the frame) or until the engine is
+/// destroyed.
+///
+///     sim::Process ping(sim::Engine& eng) {
+///       co_await eng.delay(5 * sim::us);
+///       ...
+///     }
+///     eng.spawn(ping(eng));
+///
+/// Exceptions escaping a process indicate a simulation bug; they abort the
+/// run with a diagnostic rather than being silently swallowed.
+class Process {
+ public:
+  struct promise_type {
+    Engine* engine = nullptr;
+
+    Process get_return_object() {
+      return Process(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) noexcept {
+        // Unregisters from the engine and destroys the frame. If the process
+        // was never spawned, Process::~Process owns destruction instead.
+        if (Engine* e = h.promise().engine) e->on_process_done(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() noexcept {}
+
+    void unhandled_exception() noexcept {
+      try {
+        std::rethrow_exception(std::current_exception());
+      } catch (const std::exception& ex) {
+        std::fprintf(stderr, "fatal: exception escaped sim process: %s\n",
+                     ex.what());
+      } catch (...) {
+        std::fprintf(stderr, "fatal: unknown exception escaped sim process\n");
+      }
+      std::abort();
+    }
+  };
+
+  Process(Process&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+
+  Process& operator=(Process&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  ~Process() { destroy(); }
+
+ private:
+  friend class Engine;
+
+  explicit Process(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+  // Engine::spawn takes the handle; afterwards this object is empty.
+  std::coroutine_handle<promise_type> release() {
+    return std::exchange(handle_, nullptr);
+  }
+
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+inline void Engine::spawn(Process p) {
+  auto h = p.release();
+  h.promise().engine = this;
+  processes_.insert(h.address());
+  post(h);
+}
+
+inline void Engine::shutdown() {
+  // Drain the queue first: the entries may hold resume handles for the
+  // frames we are about to destroy, and must never fire afterwards.
+  while (!queue_.empty()) queue_.pop();
+  // Destroying a suspended frame runs its locals' destructors, which may
+  // legally destroy *other* processes (e.g. a thread owning an Endpoint);
+  // iterate over a snapshot and re-check liveness.
+  auto snapshot = processes_;
+  for (void* addr : snapshot) {
+    if (processes_.erase(addr) > 0) {
+      std::coroutine_handle<>::from_address(addr).destroy();
+    }
+  }
+}
+
+inline Engine::~Engine() { shutdown(); }
+
+inline bool Engine::step() {
+  if (queue_.empty()) return false;
+  auto [t, fn] = queue_.pop();
+  now_ = t;
+  ++events_processed_;
+  fn();
+  return true;
+}
+
+inline std::size_t Engine::run() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+inline std::size_t Engine::run_until(Time t) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.next_time() <= t) {
+    step();
+    ++n;
+  }
+  if (now_ < t) now_ = t;
+  return n;
+}
+
+}  // namespace vnet::sim

@@ -1,0 +1,280 @@
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace vnet::sim {
+
+/// Condition variable for simulation processes.
+///
+/// As with POSIX condition variables, waits can wake spuriously relative to
+/// the guarded predicate (another process may consume the state between
+/// notify and resume), so callers loop:
+///
+///     while (!pred()) co_await cv.wait();
+///
+/// All wakeups are delivered through the engine's event queue in FIFO order.
+class CondVar {
+ public:
+  explicit CondVar(Engine& engine) : engine_(&engine) {}
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Awaitable: suspends until notify_one()/notify_all().
+  auto wait() {
+    struct Awaiter {
+      CondVar& cv;
+      std::shared_ptr<WaitState> state;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        state = std::make_shared<WaitState>();
+        state->handle = h;
+        cv.waiters_.push_back(state);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, nullptr};
+  }
+
+  /// Awaitable: suspends until notified or until `d` elapses.
+  /// `co_await cv.wait_for(d)` yields true if notified, false on timeout.
+  auto wait_for(Duration d) {
+    struct Awaiter {
+      CondVar& cv;
+      Duration d;
+      std::shared_ptr<WaitState> state;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        state = std::make_shared<WaitState>();
+        state->handle = h;
+        cv.waiters_.push_back(state);
+        Engine& eng = *cv.engine_;
+        eng.after(d, [s = state, &eng] {
+          if (s->done) return;  // already notified
+          s->done = true;
+          s->notified = false;
+          eng.post(s->handle);
+        });
+      }
+      bool await_resume() const noexcept { return state->notified; }
+    };
+    return Awaiter{*this, d, nullptr};
+  }
+
+  /// Wakes the earliest live waiter, if any.
+  void notify_one() {
+    while (!waiters_.empty()) {
+      auto s = std::move(waiters_.front());
+      waiters_.pop_front();
+      if (s->done) continue;  // timed out; entry is stale
+      s->done = true;
+      s->notified = true;
+      engine_->post(s->handle);
+      return;
+    }
+  }
+
+  /// Wakes all live waiters in FIFO order.
+  void notify_all() {
+    auto pending = std::move(waiters_);
+    waiters_.clear();
+    for (auto& s : pending) {
+      if (s->done) continue;
+      s->done = true;
+      s->notified = true;
+      engine_->post(s->handle);
+    }
+  }
+
+  /// Number of live (not yet notified or timed-out) waiters.
+  std::size_t waiter_count() const {
+    std::size_t n = 0;
+    for (const auto& s : waiters_) {
+      if (!s->done) ++n;
+    }
+    return n;
+  }
+  Engine& engine() { return *engine_; }
+
+ private:
+  struct WaitState {
+    std::coroutine_handle<> handle;
+    bool done = false;
+    bool notified = false;
+  };
+
+  Engine* engine_;
+  std::deque<std::shared_ptr<WaitState>> waiters_;
+};
+
+/// One-shot latch: processes wait until open() is called once; waits after
+/// that complete immediately. Used for residency transitions and joins.
+class Gate {
+ public:
+  explicit Gate(Engine& engine) : engine_(&engine) {}
+
+  Gate(const Gate&) = delete;
+  Gate& operator=(const Gate&) = delete;
+
+  bool is_open() const { return open_; }
+
+  void open() {
+    if (open_) return;
+    open_ = true;
+    for (auto h : waiters_) engine_->post(h);
+    waiters_.clear();
+  }
+
+  auto wait() {
+    struct Awaiter {
+      Gate& gate;
+      bool await_ready() const noexcept { return gate.open_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        gate.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Engine* engine_;
+  bool open_ = false;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Counting semaphore with FIFO hand-off, for modelling exclusive hardware
+/// resources (DMA engines, bus grants).
+class Semaphore {
+ public:
+  Semaphore(Engine& engine, int initial) : engine_(&engine), count_(initial) {}
+
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  auto acquire() {
+    struct Awaiter {
+      Semaphore& sem;
+      bool await_ready() noexcept {
+        if (sem.count_ > 0) {
+          --sem.count_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        sem.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  bool try_acquire() {
+    if (count_ > 0) {
+      --count_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Releases one unit; hands it directly to the earliest waiter if any.
+  void release() {
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      engine_->post(h);  // waiter proceeds without touching count_
+    } else {
+      ++count_;
+    }
+  }
+
+  int available() const { return count_; }
+  std::size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  Engine* engine_;
+  int count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// RAII-style mutex built on Semaphore; use `co_await m.acquire(); ...
+/// m.release();` around critical sections touching shared sim state across
+/// suspension points.
+class Mutex : public Semaphore {
+ public:
+  explicit Mutex(Engine& engine) : Semaphore(engine, 1) {}
+};
+
+/// Unbounded message queue between processes (firmware mailboxes, driver
+/// request queues). post() never blocks; receive() suspends when empty and
+/// hands values to receivers in FIFO order.
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(Engine& engine) : engine_(&engine) {}
+
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  void post(T value) {
+    if (!receivers_.empty()) {
+      Receiver r = receivers_.front();
+      receivers_.pop_front();
+      *r.slot = std::move(value);
+      engine_->post(r.handle);
+    } else {
+      queue_.push_back(std::move(value));
+    }
+  }
+
+  /// Awaitable: yields the next value, suspending if none is queued.
+  auto receive() {
+    struct Awaiter {
+      Mailbox& box;
+      std::optional<T> slot;
+      bool await_ready() noexcept {
+        if (!box.queue_.empty()) {
+          slot = std::move(box.queue_.front());
+          box.queue_.pop_front();
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        box.receivers_.push_back(Receiver{&slot, h});
+      }
+      T await_resume() { return std::move(*slot); }
+    };
+    return Awaiter{*this, std::nullopt};
+  }
+
+  std::optional<T> try_receive() {
+    if (queue_.empty()) return std::nullopt;
+    T v = std::move(queue_.front());
+    queue_.pop_front();
+    return v;
+  }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return queue_.size(); }
+
+ private:
+  struct Receiver {
+    std::optional<T>* slot;
+    std::coroutine_handle<> handle;
+  };
+
+  Engine* engine_;
+  std::deque<T> queue_;
+  std::deque<Receiver> receivers_;
+};
+
+}  // namespace vnet::sim

@@ -1,0 +1,144 @@
+#pragma once
+
+#include <coroutine>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+namespace vnet::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      // Resume whoever awaited us; the frame itself is destroyed by the
+      // owning Task object.
+      auto& cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void unhandled_exception() noexcept {
+    try {
+      std::rethrow_exception(std::current_exception());
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "fatal: exception escaped sim task: %s\n",
+                   ex.what());
+    } catch (...) {
+      std::fprintf(stderr, "fatal: unknown exception escaped sim task\n");
+    }
+    std::abort();
+  }
+};
+
+template <typename T>
+struct TaskPromise : TaskPromiseBase {
+  std::optional<T> value;
+
+  Task<T> get_return_object();
+
+  template <typename U>
+  void return_value(U&& v) {
+    value.emplace(std::forward<U>(v));
+  }
+
+  T take() { return std::move(*value); }
+};
+
+template <>
+struct TaskPromise<void> : TaskPromiseBase {
+  Task<void> get_return_object();
+  void return_void() noexcept {}
+  void take() {}
+};
+
+}  // namespace detail
+
+/// A lazily-started, awaitable coroutine returning T.
+///
+/// Task is the composition primitive beneath Process: a Process (or another
+/// Task) does `T v = co_await some_task(...)`, the child starts inline, and
+/// when it completes — possibly after suspending on engine delays or
+/// condition variables — control transfers back to the awaiter via
+/// symmetric transfer. The public vnet::am API is expressed as Tasks so
+/// application code reads like straight-line threaded code.
+///
+/// The Task object owns the coroutine frame; it must be awaited (or
+/// destroyed) by its creator. A Task is single-shot: await it once.
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = detail::TaskPromise<T>;
+
+  Task(Task&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> child;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+        child.promise().continuation = parent;
+        return child;  // start the child inline (symmetric transfer)
+      }
+      T await_resume() { return child.promise().take(); }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  friend struct detail::TaskPromise<T>;
+
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+namespace detail {
+
+template <typename T>
+Task<T> TaskPromise<T>::get_return_object() {
+  return Task<T>(std::coroutine_handle<TaskPromise<T>>::from_promise(*this));
+}
+
+inline Task<void> TaskPromise<void>::get_return_object() {
+  return Task<void>(
+      std::coroutine_handle<TaskPromise<void>>::from_promise(*this));
+}
+
+}  // namespace detail
+
+}  // namespace vnet::sim

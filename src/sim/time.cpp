@@ -1,0 +1,24 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace vnet::sim {
+
+std::string format_time(Time t) {
+  char buf[48];
+  if (t == kTimeNever) {
+    return "never";
+  }
+  if (t < kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(t));
+  } else if (t < kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", to_usec(t));
+  } else if (t < kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", to_msec(t));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6fs", to_sec(t));
+  }
+  return buf;
+}
+
+}  // namespace vnet::sim

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vnet::sim {
+
+/// Simulated time in integer nanoseconds since the start of the run.
+///
+/// All components of the simulated cluster (hosts, NICs, links) share one
+/// clock owned by the Engine. Integer nanoseconds give exact, platform
+/// independent arithmetic; the longest runs we model (tens of simulated
+/// seconds) are far from overflow.
+using Time = std::int64_t;
+
+/// A span of simulated time, also in nanoseconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1'000;
+inline constexpr Duration kMillisecond = 1'000'000;
+inline constexpr Duration kSecond = 1'000'000'000;
+
+/// Convenience literals: `250 * sim::us`, `4 * sim::ms`.
+inline constexpr Duration ns = kNanosecond;
+inline constexpr Duration us = kMicrosecond;
+inline constexpr Duration ms = kMillisecond;
+inline constexpr Duration sec = kSecond;
+
+/// Sentinel meaning "no deadline".
+inline constexpr Time kTimeNever = INT64_MAX;
+
+/// Converts a duration to floating-point microseconds (for reporting).
+constexpr double to_usec(Duration d) { return static_cast<double>(d) / 1e3; }
+
+/// Converts a duration to floating-point milliseconds (for reporting).
+constexpr double to_msec(Duration d) { return static_cast<double>(d) / 1e6; }
+
+/// Converts a duration to floating-point seconds (for reporting).
+constexpr double to_sec(Duration d) { return static_cast<double>(d) / 1e9; }
+
+/// Converts floating-point microseconds to a Duration, rounding to nearest.
+constexpr Duration from_usec(double usec) {
+  return static_cast<Duration>(usec * 1e3 + (usec >= 0 ? 0.5 : -0.5));
+}
+
+/// Renders a time as a human-readable string, e.g. "12.345us" or "3.2ms".
+std::string format_time(Time t);
+
+}  // namespace vnet::sim

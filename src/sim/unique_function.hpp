@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace vnet::sim {
+
+/// A move-only type-erased callable with signature `void()`.
+///
+/// The discrete-event queue stores millions of pending callbacks, many of
+/// which capture move-only state (packets, coroutine handles). std::function
+/// requires copyability, and std::move_only_function is C++23; this is the
+/// small subset we need, with a small-buffer optimization sized for typical
+/// event lambdas (a couple of pointers).
+class UniqueFunction {
+ public:
+  UniqueFunction() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  UniqueFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buffer_)) Fn(std::forward<F>(f));
+      vtable_ = &inline_vtable<Fn>;
+    } else {
+      ::new (static_cast<void*>(buffer_)) Fn*(new Fn(std::forward<F>(f)));
+      vtable_ = &heap_vtable<Fn>;
+    }
+  }
+
+  UniqueFunction(UniqueFunction&& other) noexcept { move_from(other); }
+
+  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  ~UniqueFunction() { reset(); }
+
+  explicit operator bool() const noexcept { return vtable_ != nullptr; }
+
+  void operator()() { vtable_->invoke(buffer_); }
+
+ private:
+  static constexpr std::size_t kInlineSize = 6 * sizeof(void*);
+
+  struct VTable {
+    void (*invoke)(void*);
+    void (*destroy)(void*) noexcept;
+    void (*relocate)(void* dst, void* src) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr VTable inline_vtable = {
+      [](void* p) { (*static_cast<Fn*>(p))(); },
+      [](void* p) noexcept { static_cast<Fn*>(p)->~Fn(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      },
+  };
+
+  template <typename Fn>
+  static constexpr VTable heap_vtable = {
+      [](void* p) { (**static_cast<Fn**>(p))(); },
+      [](void* p) noexcept { delete *static_cast<Fn**>(p); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn*(*static_cast<Fn**>(src));
+      },
+  };
+
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(buffer_);
+      vtable_ = nullptr;
+    }
+  }
+
+  void move_from(UniqueFunction& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_ != nullptr) {
+      vtable_->relocate(buffer_, other.buffer_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  const VTable* vtable_ = nullptr;
+  alignas(std::max_align_t) unsigned char buffer_[kInlineSize];
+};
+
+}  // namespace vnet::sim

@@ -1,0 +1,158 @@
+#include "sock/socket.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vnet::sock {
+
+namespace {
+constexpr std::uint8_t kSyn = 1;     ///< to listener: (node, ep, tag)
+constexpr std::uint8_t kAccept = 2;  ///< to client socket: (node, ep, tag)
+constexpr std::uint8_t kData = 3;    ///< args[0] = stream offset
+constexpr std::uint8_t kFin = 4;     ///< args[0] = final stream offset
+
+constexpr std::uint32_t kPeerIndex = 0;      ///< translation slot: peer
+constexpr std::uint32_t kListenerIndex = 1;  ///< translation slot: listener
+}  // namespace
+
+Socket::Socket(std::unique_ptr<am::Endpoint> ep) : ep_(std::move(ep)) {
+  install_handlers();
+}
+
+Socket::~Socket() = default;
+
+void Socket::install_handlers() {
+  ep_->set_handler(kAccept, [this](am::Endpoint& ep, const am::Message& m) {
+    if (std::getenv("VNET_SOCK_DEBUG")) {
+      std::fprintf(stderr, "[sock] ACCEPT received on node %d ep %u\n",
+                   ep.name().node, ep.name().ep);
+    }
+    ep.map_raw(kPeerIndex, static_cast<myrinet::NodeId>(m.arg(0)),
+               static_cast<lanai::EpId>(m.arg(1)), m.arg(2));
+    connected_ = true;
+  });
+  ep_->set_undeliverable_handler([](am::Endpoint& ep, am::ReturnedMessage r) {
+    if (std::getenv("VNET_SOCK_DEBUG")) {
+      std::fprintf(stderr,
+                   "[sock] RETURNED msg handler=%u reason=%s from node %d "
+                   "ep %u\n",
+                   r.descriptor.body.handler, lanai::to_string(r.reason),
+                   ep.name().node, ep.name().ep);
+    }
+  });
+  ep_->set_handler(kData, [this](am::Endpoint&, const am::Message& m) {
+    const std::uint64_t offset = m.arg(0);
+    const std::uint32_t len = m.bulk_bytes();
+    if (offset == assembled_) {
+      assembled_ += len;
+      // Absorb any previously-buffered segments that are now contiguous.
+      auto it = out_of_order_.find(assembled_);
+      while (it != out_of_order_.end()) {
+        assembled_ += it->second;
+        out_of_order_.erase(it);
+        it = out_of_order_.find(assembled_);
+      }
+    } else if (offset > assembled_) {
+      out_of_order_[offset] = len;  // reordered across logical channels
+    }
+    // offset < assembled_ cannot happen: the transport is exactly-once.
+  });
+  ep_->set_handler(kFin, [this](am::Endpoint&, const am::Message& m) {
+    fin_received_ = true;
+    fin_offset_ = m.arg(0);  // effective once all its bytes are assembled
+  });
+}
+
+sim::Task<std::unique_ptr<Socket>> Socket::connect(host::HostThread& t,
+                                                   const am::Name& listener) {
+  auto ep = co_await am::Endpoint::create(t, /*tag=*/0x50c0 + listener.ep);
+  auto sock = std::unique_ptr<Socket>(new Socket(std::move(ep)));
+  sock->ep_->map(kListenerIndex, listener);
+  const am::Name self = sock->ep_->name();
+  co_await sock->ep_->request(t, kListenerIndex, kSyn,
+                              static_cast<std::uint64_t>(self.node),
+                              self.ep, self.tag);
+  while (!sock->connected_) {
+    co_await sock->ep_->wait_for(t, 500 * sim::us);
+    co_await sock->ep_->poll(t, 8);
+  }
+  co_return sock;
+}
+
+sim::Task<> Socket::send_segment(host::HostThread& t, std::uint32_t bytes) {
+  co_await ep_->request_bulk(t, kPeerIndex, kData, bytes, nullptr,
+                             send_offset_);
+  send_offset_ += bytes;
+}
+
+sim::Task<> Socket::send(host::HostThread& t, std::uint32_t bytes) {
+  std::uint32_t remaining = bytes;
+  while (remaining > 0) {
+    const std::uint32_t seg = std::min(remaining, kSegmentBytes);
+    co_await send_segment(t, seg);  // the credit window throttles here
+    remaining -= seg;
+    co_await ep_->poll(t, 4);
+  }
+}
+
+sim::Task<std::uint64_t> Socket::recv(host::HostThread& t,
+                                      std::uint64_t min_bytes) {
+  co_await ep_->poll(t, 16);  // segments only land under a poll
+  while (available() < min_bytes && !peer_closed()) {
+    co_await ep_->wait_for(t, 500 * sim::us);
+    co_await ep_->poll(t, 16);
+  }
+  const std::uint64_t got = available();  // consume the contiguous prefix
+  consumed_ += got;
+  co_return got;
+}
+
+sim::Task<> Socket::close(host::HostThread& t) {
+  while (ep_->credits_in_use() > 0) co_await ep_->poll(t, 16);
+  co_await ep_->request(t, kPeerIndex, kFin, send_offset_);
+  // Give the FIN a moment to complete before the endpoint may be torn down.
+  co_await t.sleep(500 * sim::us);
+  co_await ep_->poll(t, 16);
+}
+
+// ------------------------------------------------------------- Listener
+
+Listener::Listener(std::unique_ptr<am::Endpoint> ep) : ep_(std::move(ep)) {
+  ep_->set_handler(kSyn, [this](am::Endpoint&, const am::Message& m) {
+    pending_.push_back(PendingSyn{
+        am::Name{static_cast<myrinet::NodeId>(m.arg(0)),
+                 static_cast<lanai::EpId>(m.arg(1)), m.arg(2)}});
+  });
+}
+
+sim::Task<std::unique_ptr<Listener>> Listener::create(host::HostThread& t,
+                                                      std::uint64_t tag) {
+  auto ep = co_await am::Endpoint::create(t, tag);
+  co_return std::unique_ptr<Listener>(new Listener(std::move(ep)));
+}
+
+sim::Task<std::unique_ptr<Socket>> Listener::accept(host::HostThread& t) {
+  while (pending_.empty()) {
+    co_await ep_->wait_for(t, 500 * sim::us);
+    co_await ep_->poll(t, 8);
+  }
+  const PendingSyn syn = pending_.front();
+  pending_.pop_front();
+
+  auto sep = co_await am::Endpoint::create(t, 0xacc0 + syn.client.ep);
+  auto sock = std::unique_ptr<Socket>(new Socket(std::move(sep)));
+  sock->ep_->map(kPeerIndex, syn.client);
+  sock->connected_ = true;
+  const am::Name self = sock->ep_->name();
+  co_await sock->ep_->request(t, kPeerIndex, kAccept,
+                              static_cast<std::uint64_t>(self.node),
+                              self.ep, self.tag);
+  if (std::getenv("VNET_SOCK_DEBUG")) {
+    std::fprintf(stderr,
+                 "[sock] accept: sent ACCEPT from (%d,%u) to (%d,%u)\n",
+                 self.node, self.ep, syn.client.node, syn.client.ep);
+  }
+  co_return sock;
+}
+
+}  // namespace vnet::sock

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "am/endpoint.hpp"
+#include "host/host.hpp"
+#include "sim/task.hpp"
+
+namespace vnet::sock {
+
+/// Stream sockets over Active Messages — the Fig 1 path by which "standard
+/// sockets, network file systems, and remote-procedure call packages can
+/// leverage the performance of the network". A connected Socket is a
+/// reliable, ordered byte stream built from AM bulk requests: the
+/// transport's logical channels may reorder whole messages, so each
+/// segment carries its stream offset and the receiver reassembles in
+/// order; the request/reply credit window provides flow control.
+class Socket {
+ public:
+  ~Socket();
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Active open: performs a SYN/ACCEPT handshake with a Listener.
+  static sim::Task<std::unique_ptr<Socket>> connect(host::HostThread& t,
+                                                    const am::Name& listener);
+
+  /// Sends `bytes` down the stream; returns once every segment has been
+  /// accepted into the send window (not necessarily delivered).
+  sim::Task<> send(host::HostThread& t, std::uint32_t bytes);
+
+  /// Blocks until at least `min_bytes` of in-order data are available,
+  /// consumes and returns them (ordered-delivery guarantee).
+  sim::Task<std::uint64_t> recv(host::HostThread& t,
+                                std::uint64_t min_bytes);
+
+  /// Bytes available to recv() right now (contiguous only).
+  std::uint64_t available() const { return assembled_ - consumed_; }
+
+  /// Half-close: flushes the window and sends FIN; recv on the peer
+  /// returns whatever remains, then 0.
+  sim::Task<> close(host::HostThread& t);
+
+  /// True once the peer's FIN has arrived *and* every byte it sent has
+  /// been assembled (the FIN may overtake data on another logical
+  /// channel, so it carries the final stream offset).
+  bool peer_closed() const {
+    return fin_received_ && assembled_ >= fin_offset_;
+  }
+
+  std::uint64_t bytes_sent() const { return send_offset_; }
+  std::uint64_t bytes_received() const { return assembled_; }
+
+  /// Largest stream segment (one AM bulk request).
+  static constexpr std::uint32_t kSegmentBytes = 8192;
+
+ private:
+  friend class Listener;
+  explicit Socket(std::unique_ptr<am::Endpoint> ep);
+
+  void install_handlers();
+  sim::Task<> send_segment(host::HostThread& t, std::uint32_t bytes);
+
+  std::unique_ptr<am::Endpoint> ep_;
+  bool connected_ = false;
+
+  // --- send side ---
+  std::uint64_t send_offset_ = 0;
+
+  // --- receive side: in-order reassembly ---
+  std::uint64_t assembled_ = 0;  ///< contiguous prefix received
+  std::uint64_t consumed_ = 0;   ///< handed to the application
+  std::map<std::uint64_t, std::uint32_t> out_of_order_;  // offset -> len
+  bool fin_received_ = false;
+  std::uint64_t fin_offset_ = 0;
+};
+
+/// Passive side of socket establishment.
+class Listener {
+ public:
+  static sim::Task<std::unique_ptr<Listener>> create(host::HostThread& t,
+                                                     std::uint64_t tag);
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  am::Name name() const { return ep_->name(); }
+
+  /// Blocks until a client connects; returns the accepted stream.
+  sim::Task<std::unique_ptr<Socket>> accept(host::HostThread& t);
+
+ private:
+  explicit Listener(std::unique_ptr<am::Endpoint> ep);
+
+  std::unique_ptr<am::Endpoint> ep_;
+  struct PendingSyn {
+    am::Name client;
+  };
+  std::deque<PendingSyn> pending_;
+};
+
+}  // namespace vnet::sock

@@ -1,0 +1,167 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "host/host.hpp"
+#include "lanai/endpoint_state.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace vnet::via {
+
+/// A minimal Virtual Interface Architecture (VIA 1.0) layer built on the
+/// same simulated NIC — the consolidation architecture the paper discusses
+/// in §7 and targets in §8 ("we are currently working on applying these
+/// techniques for network virtualization to an implementation of the
+/// Virtual Interface Architecture").
+///
+/// It deliberately reproduces the reference architecture's restrictions
+/// that the paper critiques:
+///  * VIs are *connections*: one VI pair per communicating peer pair, so a
+///    parallel program on n nodes needs n-1 VIs per node (n^2 total)
+///    instead of one endpoint with n translation entries;
+///  * resources are provisioned per connection, not pooled: every VI
+///    consumes an endpoint frame slot when active, so complete
+///    connectivity overcommits the NIC much sooner than virtual networks;
+///  * memory must be explicitly registered (pinned) before it can be used
+///    in a descriptor — a conservative memory-management position.
+/// VIs may share a CompletionQueue, the one pooling mechanism VIA offers.
+
+class CompletionQueue;
+class Vi;
+
+/// Address of a VI endpoint for connection establishment.
+struct ViAddress {
+  myrinet::NodeId node = myrinet::kInvalidNode;
+  lanai::EpId ep = lanai::kInvalidEp;
+  std::uint64_t key = 0;
+  bool valid() const { return node != myrinet::kInvalidNode; }
+};
+
+/// Handle to a registered (pinned) memory region.
+struct MemoryHandle {
+  std::uint32_t id = 0;
+  std::uint32_t bytes = 0;
+  bool valid() const { return id != 0; }
+};
+
+/// One completion event.
+struct Completion {
+  enum class Kind { kSend, kRecv };
+  Kind kind = Kind::kRecv;
+  int vi_id = -1;
+  std::uint32_t bytes = 0;
+  std::uint64_t immediate = 0;  ///< 64-bit immediate data
+};
+
+/// A completion queue shared by any number of VIs (§7: "collections of
+/// VI's may share a completion queue which provides a central location
+/// for polling").
+class CompletionQueue {
+ public:
+  explicit CompletionQueue(sim::Engine& engine) : cv_(engine) {}
+
+  CompletionQueue(const CompletionQueue&) = delete;
+  CompletionQueue& operator=(const CompletionQueue&) = delete;
+
+  /// Blocks until a completion is available, then returns it.
+  sim::Task<Completion> wait(host::HostThread& t);
+
+  /// Non-blocking variant.
+  bool try_pop(Completion* out);
+
+  std::size_t pending() const { return entries_.size(); }
+
+  // -- internal --
+  void push(Completion c) {
+    entries_.push_back(c);
+    cv_.notify_all();
+  }
+  void notify() { cv_.notify_all(); }
+  void attach(Vi* vi) { vis_.push_back(vi); }
+  void detach(Vi* vi);
+
+ private:
+  std::deque<Completion> entries_;
+  std::vector<Vi*> vis_;
+  sim::CondVar cv_;
+};
+
+/// A Virtual Interface: a connected send/recv queue pair.
+class Vi {
+ public:
+  /// Creates an unconnected VI; completions go to `cq` (required — this
+  /// minimal layer always uses completion queues).
+  static sim::Task<std::unique_ptr<Vi>> create(host::HostThread& t,
+                                               CompletionQueue& cq,
+                                               int vi_id);
+
+  ~Vi();
+  Vi(const Vi&) = delete;
+  Vi& operator=(const Vi&) = delete;
+
+  /// This VI's address, exchanged out of band.
+  ViAddress address() const;
+
+  /// Binds this VI to its (single) remote peer. Both sides must connect
+  /// before transfers; there is no wire handshake in this minimal layer.
+  void connect(const ViAddress& peer);
+  bool connected() const { return peer_.valid(); }
+
+  /// Registers (pins) a memory region; charged per page. Descriptors may
+  /// only reference registered memory (§7: "requiring explicit memory
+  /// registration and pinning before communicating").
+  sim::Task<MemoryHandle> register_memory(host::HostThread& t,
+                                          std::uint32_t bytes);
+  sim::Task<> deregister_memory(host::HostThread& t, MemoryHandle h);
+
+  /// Posts a send of `bytes` from the registered region. Returns false
+  /// (posting error) if the VI is unconnected, the handle is invalid, or
+  /// `bytes` exceeds the registered length.
+  sim::Task<bool> post_send(host::HostThread& t, MemoryHandle h,
+                            std::uint32_t bytes, std::uint64_t immediate = 0);
+
+  /// Pre-posts a receive buffer; arriving messages consume posted
+  /// receives in order. Without a posted receive, arrivals wait in the
+  /// endpoint queue (this layer maps the reliable-delivery VIA mode).
+  void post_recv(MemoryHandle h);
+
+  int id() const { return vi_id_; }
+  std::uint64_t sends_completed() const { return sends_completed_; }
+  std::uint64_t recvs_completed() const { return recvs_completed_; }
+
+  /// Pump: moves arrived messages into completions against posted
+  /// receives. Called by CompletionQueue::wait internally and usable
+  /// directly by polling loops.
+  sim::Task<std::size_t> poll(host::HostThread& t);
+
+ private:
+  Vi(host::Host& host, CompletionQueue& cq, int vi_id,
+     lanai::EndpointState* state);
+
+  host::Host* host_;
+  CompletionQueue* cq_;
+  int vi_id_;
+  lanai::EndpointState* state_;
+  ViAddress peer_;
+  std::uint32_t next_mem_id_ = 1;
+  std::vector<MemoryHandle> registered_;
+  std::deque<MemoryHandle> posted_recvs_;
+  std::uint64_t sends_completed_ = 0;
+  std::uint64_t recvs_completed_ = 0;
+  std::uint64_t sends_posted_ = 0;
+  std::uint64_t acked_at_last_poll_ = 0;
+};
+
+/// VIA cost model knobs (kept here; the underlying NIC/host models are
+/// shared with the virtual-network stack).
+struct ViaCosts {
+  /// Registration cost per 8 KB page (pin + translate + NIC update).
+  static constexpr sim::Duration kRegisterPerPage = 15 * sim::us;
+  static constexpr sim::Duration kDeregister = 8 * sim::us;
+};
+
+}  // namespace vnet::via

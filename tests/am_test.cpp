@@ -1,0 +1,427 @@
+// Integration tests for the public vnet::am API over the full stack
+// (cluster -> host -> segment driver -> NIC -> fabric): naming/protection,
+// request/reply with handlers, credits, events, residency under frame
+// pressure, and the return-to-sender error model.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "am/endpoint.hpp"
+#include "am/message.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/config.hpp"
+
+namespace vnet::am {
+namespace {
+
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using cluster::GamConfig;
+using cluster::NowConfig;
+
+/// Out-of-band rendezvous: ranks publish endpoint names here (the paper
+/// allows any rendezvous mechanism for name exchange, §3.1).
+struct Rendezvous {
+  std::vector<Name> names;
+  explicit Rendezvous(int n) : names(static_cast<std::size_t>(n)) {}
+  bool all_ready() const {
+    for (const auto& n : names) {
+      if (!n.valid()) return false;
+    }
+    return true;
+  }
+};
+
+TEST(AmApi, PingPongRequestReply) {
+  Cluster cl(NowConfig(2));
+  Rendezvous rv(2);
+  std::uint64_t got_request = 0, got_reply = 0;
+
+  // Server on node 1.
+  cl.spawn_thread(1, "server", [&](host::HostThread& t) -> sim::Task<> {
+    auto ep = co_await Endpoint::create(t, /*tag=*/0xbeef);
+    ep->set_handler(1, [&](Endpoint&, const Message& m) {
+      got_request = m.arg(0);
+      m.reply(2, {m.arg(0) + 1});
+    });
+    rv.names[1] = ep->name();
+    while (got_request == 0) {
+      co_await ep->wait(t);
+      co_await ep->poll(t);
+    }
+    // Keep polling briefly so the reply's transport completes cleanly.
+    co_await t.sleep(1 * sim::ms);
+    co_await ep->destroy(t);
+  });
+
+  // Client on node 0.
+  cl.spawn_thread(0, "client", [&](host::HostThread& t) -> sim::Task<> {
+    auto ep = co_await Endpoint::create(t, 0xcafe);
+    ep->set_handler(2, [&](Endpoint&, const Message& m) {
+      got_reply = m.arg(0);
+    });
+    rv.names[0] = ep->name();
+    while (!rv.all_ready()) co_await t.sleep(10 * sim::us);
+    ep->map(0, rv.names[1]);
+    co_await ep->request(t, 0, /*handler=*/1, 41);
+    while (got_reply == 0) co_await ep->poll(t);
+    co_await ep->destroy(t);
+  });
+
+  cl.run_to_completion();
+  EXPECT_EQ(got_request, 41u);
+  EXPECT_EQ(got_reply, 42u);
+}
+
+TEST(AmApi, CreditWindowBoundsOutstandingRequests) {
+  Cluster cl(NowConfig(2));
+  Rendezvous rv(2);
+  int max_outstanding = 0;
+  std::uint64_t served = 0;
+  const int total = 200;
+
+  cl.spawn_thread(1, "server", [&](host::HostThread& t) -> sim::Task<> {
+    auto ep = co_await Endpoint::create(t, 1);
+    ep->set_handler(1, [&](Endpoint&, const Message&) { ++served; });
+    rv.names[1] = ep->name();
+    while (served < static_cast<std::uint64_t>(total)) {
+      co_await ep->wait(t);
+      co_await ep->poll(t, 32);
+    }
+    co_await t.sleep(2 * sim::ms);  // drain trailing credit replies
+  });
+
+  cl.spawn_thread(0, "client", [&](host::HostThread& t) -> sim::Task<> {
+    auto ep = co_await Endpoint::create(t, 2);
+    rv.names[0] = ep->name();
+    while (!rv.all_ready()) co_await t.sleep(10 * sim::us);
+    ep->map(0, rv.names[1]);
+    for (int i = 0; i < total; ++i) {
+      co_await ep->request(t, 0, 1, static_cast<std::uint64_t>(i));
+      max_outstanding = std::max(max_outstanding, ep->credits_in_use());
+    }
+    while (ep->credits_in_use() > 0) co_await ep->poll(t);
+    EXPECT_GT(ep->stats().send_stalls, 0u);  // the window really bound us
+  });
+
+  cl.run_to_completion();
+  EXPECT_EQ(served, static_cast<std::uint64_t>(total));
+  EXPECT_LE(max_outstanding, 32);
+  EXPECT_GE(max_outstanding, 16);  // pipeline actually fills
+}
+
+TEST(AmApi, BadKeyTriggersUndeliverableHandler) {
+  Cluster cl(NowConfig(2));
+  Rendezvous rv(2);
+  lanai::NackReason reason = lanai::NackReason::kNone;
+  bool returned = false;
+
+  cl.spawn_thread(1, "victim", [&](host::HostThread& t) -> sim::Task<> {
+    auto ep = co_await Endpoint::create(t, /*tag=*/0x1234);
+    rv.names[1] = ep->name();
+    co_await t.sleep(5 * sim::ms);
+    co_await ep->destroy(t);
+  });
+
+  cl.spawn_thread(0, "attacker", [&](host::HostThread& t) -> sim::Task<> {
+    auto ep = co_await Endpoint::create(t, 1);
+    ep->set_undeliverable_handler([&](Endpoint&, ReturnedMessage r) {
+      returned = true;
+      reason = r.reason;
+    });
+    rv.names[0] = ep->name();
+    while (!rv.all_ready()) co_await t.sleep(10 * sim::us);
+    // Deliberately present the wrong key.
+    ep->map_raw(0, rv.names[1].node, rv.names[1].ep, /*key=*/0x666);
+    co_await ep->request(t, 0, 1, 7);
+    while (!returned) co_await ep->poll(t);
+  });
+
+  cl.run_to_completion();
+  EXPECT_TRUE(returned);
+  EXPECT_EQ(reason, lanai::NackReason::kBadKey);
+}
+
+TEST(AmApi, CrashedNodeReturnsMessagesToSender) {
+  auto cfg = NowConfig(2);
+  cfg.nic.retransmit_timeout = 100 * sim::us;
+  cfg.nic.unreachable_timeout = 10 * sim::ms;
+  Cluster cl(cfg);
+  Rendezvous rv(2);
+  int returned = 0;
+
+  cl.spawn_thread(1, "doomed", [&](host::HostThread& t) -> sim::Task<> {
+    auto ep = co_await Endpoint::create(t, 1);
+    rv.names[1] = ep->name();
+    co_await t.sleep(100 * sim::ms);
+  });
+
+  cl.spawn_thread(0, "sender", [&](host::HostThread& t) -> sim::Task<> {
+    auto ep = co_await Endpoint::create(t, 2);
+    ep->set_undeliverable_handler([&](Endpoint&, ReturnedMessage r) {
+      EXPECT_TRUE(r.unreachable());
+      ++returned;
+    });
+    rv.names[0] = ep->name();
+    while (!rv.all_ready()) co_await t.sleep(10 * sim::us);
+    ep->map(0, rv.names[1]);
+    co_await t.sleep(2 * sim::ms);  // wait until node 1's cable is pulled
+    co_await ep->request(t, 0, 1, 1);
+    co_await ep->request(t, 0, 1, 2);
+    while (returned < 2) co_await ep->poll(t);
+  });
+
+  // Pull node 1's cable just after the threads start.
+  cl.engine().after(1 * sim::ms, [&] { cl.fabric().set_host_link(1, false); });
+  cl.run_to_completion();
+  EXPECT_EQ(returned, 2);
+}
+
+TEST(AmApi, EventDrivenServerSleepsUntilArrival) {
+  Cluster cl(NowConfig(2));
+  Rendezvous rv(2);
+  sim::Time woke_at = -1;
+  std::uint64_t got = 0;
+
+  cl.spawn_thread(1, "sleeper", [&](host::HostThread& t) -> sim::Task<> {
+    auto ep = co_await Endpoint::create(t, 1);
+    ep->set_event_mask(kEventReceive);
+    ep->set_handler(1, [&](Endpoint&, const Message& m) { got = m.arg(0); });
+    rv.names[1] = ep->name();
+    co_await ep->wait(t);  // sleeps: no polling, no CPU burn
+    woke_at = t.engine().now();
+    co_await ep->poll(t);
+    co_await t.sleep(1 * sim::ms);
+  });
+
+  cl.spawn_thread(0, "sender", [&](host::HostThread& t) -> sim::Task<> {
+    auto ep = co_await Endpoint::create(t, 2);
+    rv.names[0] = ep->name();
+    while (!rv.all_ready()) co_await t.sleep(10 * sim::us);
+    co_await t.sleep(5 * sim::ms);  // let the server block first
+    ep->map(0, rv.names[1]);
+    co_await ep->request(t, 0, 1, 77);
+    co_await t.sleep(1 * sim::ms);
+    while (ep->credits_in_use() > 0) co_await ep->poll(t);
+  });
+
+  cl.run_to_completion();
+  EXPECT_EQ(got, 77u);
+  EXPECT_GE(woke_at, 5 * sim::ms);  // really slept until the message came
+}
+
+TEST(AmApi, WaitForTimesOutWithoutTraffic) {
+  Cluster cl(NowConfig(1));
+  bool notified = true;
+  cl.spawn_thread(0, "t", [&](host::HostThread& t) -> sim::Task<> {
+    auto ep = co_await Endpoint::create(t, 1);
+    ep->set_event_mask(kEventReceive);  // send-space would be trivially true
+    notified = co_await ep->wait_for(t, 2 * sim::ms);
+    co_await ep->destroy(t);
+  });
+  cl.run_to_completion();
+  EXPECT_FALSE(notified);
+}
+
+TEST(AmApi, ManyEndpointsOvercommitFramesAndStillDeliver) {
+  // 12 client endpoints all talking to one server endpoint on a NIC with
+  // only 8 frames: residency churn must not lose messages.
+  auto cfg = NowConfig(2);
+  ASSERT_EQ(cfg.nic.endpoint_frames, 8);
+  Cluster cl(cfg);
+  const int kClients = 12;
+  Rendezvous rv(1);
+  std::map<std::uint64_t, int> seen;
+  std::uint64_t served = 0;
+  const int per_client = 5;
+
+  cl.spawn_thread(1, "server", [&](host::HostThread& t) -> sim::Task<> {
+    auto ep = co_await Endpoint::create(t, 9);
+    ep->set_handler(1, [&](Endpoint&, const Message& m) {
+      ++seen[m.arg(0)];
+      ++served;
+    });
+    rv.names[0] = ep->name();
+    while (served < static_cast<std::uint64_t>(kClients * per_client)) {
+      co_await ep->wait(t);
+      co_await ep->poll(t, 32);
+    }
+    co_await t.sleep(5 * sim::ms);
+  });
+
+  for (int c = 0; c < kClients; ++c) {
+    cl.spawn_thread(0, "client" + std::to_string(c),
+                    [&, c](host::HostThread& t) -> sim::Task<> {
+                      auto ep = co_await Endpoint::create(t, 100 + c);
+                      while (!rv.all_ready()) co_await t.sleep(20 * sim::us);
+                      ep->map(0, rv.names[0]);
+                      for (int i = 0; i < per_client; ++i) {
+                        co_await ep->request(
+                            t, 0, 1,
+                            static_cast<std::uint64_t>(c * 1000 + i));
+                      }
+                      while (ep->credits_in_use() > 0) {
+                        co_await ep->poll(t);
+                      }
+                    });
+  }
+
+  cl.run_to_completion();
+  EXPECT_EQ(served, static_cast<std::uint64_t>(kClients * per_client));
+  for (const auto& [key, count] : seen) {
+    EXPECT_EQ(count, 1) << "message " << key << " duplicated";
+  }
+  // 12 client endpoints + 1 elsewhere exceed 8 frames: eviction happened.
+  EXPECT_GT(cl.host(0).driver().stats().evictions, 0u);
+}
+
+TEST(AmApi, SharedEndpointServesTwoThreads) {
+  Cluster cl(NowConfig(2));
+  Rendezvous rv(2);
+  std::uint64_t served = 0;
+  const int total = 40;
+  std::unique_ptr<Endpoint> server_ep;
+
+  cl.spawn_thread(1, "creator", [&](host::HostThread& t) -> sim::Task<> {
+    server_ep = co_await Endpoint::create(t, 1, /*shared=*/true);
+    server_ep->set_handler(1, [&](Endpoint&, const Message&) { ++served; });
+    rv.names[1] = server_ep->name();
+    co_return;
+  });
+  for (int w = 0; w < 2; ++w) {
+    cl.spawn_thread(1, "worker" + std::to_string(w),
+                    [&](host::HostThread& t) -> sim::Task<> {
+                      while (server_ep == nullptr) {
+                        co_await t.sleep(10 * sim::us);
+                      }
+                      while (served < static_cast<std::uint64_t>(total)) {
+                        co_await server_ep->wait_for(t, 500 * sim::us);
+                        co_await server_ep->poll(t, 8);
+                      }
+                    });
+  }
+  cl.spawn_thread(0, "client", [&](host::HostThread& t) -> sim::Task<> {
+    auto ep = co_await Endpoint::create(t, 2);
+    rv.names[0] = ep->name();
+    while (!rv.all_ready()) co_await t.sleep(10 * sim::us);
+    ep->map(0, rv.names[1]);
+    for (int i = 0; i < total; ++i) {
+      co_await ep->request(t, 0, 1, static_cast<std::uint64_t>(i));
+    }
+    while (ep->credits_in_use() > 0) co_await ep->poll(t);
+  });
+
+  cl.run_to_completion();
+  EXPECT_EQ(served, static_cast<std::uint64_t>(total));
+}
+
+TEST(AmApi, BulkTransferDeliversPayload) {
+  Cluster cl(NowConfig(2));
+  Rendezvous rv(2);
+  std::uint32_t got_bytes = 0;
+  std::shared_ptr<const std::vector<std::uint8_t>> got_data;
+
+  cl.spawn_thread(1, "recv", [&](host::HostThread& t) -> sim::Task<> {
+    auto ep = co_await Endpoint::create(t, 1);
+    ep->set_handler(3, [&](Endpoint&, const Message& m) {
+      got_bytes = m.bulk_bytes();
+      got_data = m.bulk_data();
+    });
+    rv.names[1] = ep->name();
+    while (got_bytes == 0) {
+      co_await ep->wait(t);
+      co_await ep->poll(t);
+    }
+    co_await t.sleep(2 * sim::ms);
+  });
+  cl.spawn_thread(0, "send", [&](host::HostThread& t) -> sim::Task<> {
+    auto ep = co_await Endpoint::create(t, 2);
+    rv.names[0] = ep->name();
+    while (!rv.all_ready()) co_await t.sleep(10 * sim::us);
+    ep->map(0, rv.names[1]);
+    auto payload = std::make_shared<std::vector<std::uint8_t>>(20'000, 0x5a);
+    co_await ep->request_bulk(t, 0, 3, 20'000, payload, 1);
+    while (ep->credits_in_use() > 0) co_await ep->poll(t);
+  });
+
+  cl.run_to_completion();
+  EXPECT_EQ(got_bytes, 20'000u);
+  ASSERT_TRUE(got_data);
+  EXPECT_EQ(got_data->size(), 20'000u);
+  EXPECT_EQ((*got_data)[12345], 0x5a);
+}
+
+TEST(AmApi, GamClusterStillServesTheApi) {
+  Cluster cl(GamConfig(2));
+  Rendezvous rv(2);
+  std::uint64_t got = 0;
+
+  cl.spawn_thread(1, "recv", [&](host::HostThread& t) -> sim::Task<> {
+    auto ep = co_await Endpoint::create(t, 0);
+    ep->set_handler(1, [&](Endpoint&, const Message& m) { got = m.arg(0); });
+    rv.names[1] = ep->name();
+    while (got == 0) {
+      co_await ep->wait_for(t, 200 * sim::us);
+      co_await ep->poll(t);
+    }
+    co_await t.sleep(1 * sim::ms);
+  });
+  cl.spawn_thread(0, "send", [&](host::HostThread& t) -> sim::Task<> {
+    auto ep = co_await Endpoint::create(t, 0);
+    rv.names[0] = ep->name();
+    while (!rv.all_ready()) co_await t.sleep(10 * sim::us);
+    ep->map(0, rv.names[1]);
+    co_await ep->request(t, 0, 1, 123);
+    co_await t.sleep(1 * sim::ms);
+    co_await ep->poll(t, 8);
+  });
+
+  cl.run_to_completion();
+  EXPECT_EQ(got, 123u);
+}
+
+TEST(AmApi, FatTreeClusterAllPairs) {
+  auto cfg = NowConfig(10);  // 2 leaves x 5 hosts, 3 spines
+  ASSERT_EQ(cfg.topology, ClusterConfig::Topology::kFatTree);
+  Cluster cl(cfg);
+  const int n = cl.size();
+  Rendezvous rv(n);
+  std::vector<std::uint64_t> received(static_cast<std::size_t>(n), 0);
+
+  for (int r = 0; r < n; ++r) {
+    cl.spawn_thread(r, "rank" + std::to_string(r),
+                    [&, r](host::HostThread& t) -> sim::Task<> {
+                      auto ep = co_await Endpoint::create(t, 40 + r);
+                      ep->set_handler(1, [&, r](Endpoint&, const Message&) {
+                        ++received[r];
+                      });
+                      rv.names[r] = ep->name();
+                      while (!rv.all_ready()) co_await t.sleep(20 * sim::us);
+                      for (int p = 0; p < n; ++p) {
+                        ep->map(static_cast<std::uint32_t>(p), rv.names[p]);
+                      }
+                      for (int p = 0; p < n; ++p) {
+                        if (p == r) continue;
+                        co_await ep->request(t, static_cast<std::uint32_t>(p),
+                                             1, static_cast<std::uint64_t>(r));
+                      }
+                      // Serve incoming traffic until everyone is done.
+                      while (received[r] <
+                                 static_cast<std::uint64_t>(n - 1) ||
+                             ep->credits_in_use() > 0) {
+                        co_await ep->poll(t, 16);
+                        co_await t.compute(500);
+                      }
+                    });
+  }
+  cl.run_to_completion();
+  for (int r = 0; r < n; ++r) {
+    EXPECT_EQ(received[r], static_cast<std::uint64_t>(n - 1)) << "rank " << r;
+  }
+}
+
+}  // namespace
+}  // namespace vnet::am

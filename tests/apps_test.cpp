@@ -1,0 +1,220 @@
+// Tests for the application layer: SPMD collectives (correctness across
+// rank counts, including non-powers-of-two), the NPB/linpack/timeshare
+// harnesses, and regression bounds pinning the LogP / bandwidth
+// calibration to the paper's measured values.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "apps/bandwidth.hpp"
+#include "apps/linpack.hpp"
+#include "apps/logp.hpp"
+#include "apps/npb.hpp"
+#include "apps/parallel.hpp"
+#include "apps/timeshare.hpp"
+#include "apps/workloads.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/config.hpp"
+
+namespace vnet::apps {
+namespace {
+
+// ----------------------------------------------------------- collectives
+
+class Collectives : public ::testing::TestWithParam<int> {};
+
+TEST_P(Collectives, BarrierSynchronizes) {
+  const int n = GetParam();
+  cluster::Cluster cl(cluster::NowConfig(std::max(n, 2)));
+  std::vector<sim::Time> entered(n), exited(n);
+  launch_spmd(cl, n, [&](Par& par) -> sim::Task<> {
+    // Stagger arrival so the barrier has real work to do.
+    co_await par.thread().sleep((par.rank() % 5) * 300 * sim::us);
+    entered[par.rank()] = par.thread().engine().now();
+    co_await par.barrier();
+    exited[par.rank()] = par.thread().engine().now();
+  });
+  cl.run_to_completion();
+  const sim::Time last_enter = *std::max_element(entered.begin(), entered.end());
+  const sim::Time first_exit = *std::min_element(exited.begin(), exited.end());
+  EXPECT_GE(first_exit, last_enter) << "a rank left the barrier early";
+}
+
+TEST_P(Collectives, AllreduceSumsAllContributions) {
+  const int n = GetParam();
+  cluster::Cluster cl(cluster::NowConfig(std::max(n, 2)));
+  const double expect = n * (n - 1) / 2.0;
+  std::vector<double> results(n, -1);
+  launch_spmd(cl, n, [&](Par& par) -> sim::Task<> {
+    results[par.rank()] =
+        co_await par.allreduce_sum(static_cast<double>(par.rank()));
+  });
+  cl.run_to_completion();
+  for (int r = 0; r < n; ++r) EXPECT_DOUBLE_EQ(results[r], expect) << r;
+}
+
+TEST_P(Collectives, AlltoallDeliversFromEveryPeer) {
+  const int n = GetParam();
+  if (n < 2) GTEST_SKIP();
+  cluster::Cluster cl(cluster::NowConfig(n));
+  int completed = 0;
+  launch_spmd(cl, n, [&](Par& par) -> sim::Task<> {
+    co_await par.alltoall(2048);
+    co_await par.barrier();
+    ++completed;
+  });
+  cl.run_to_completion();
+  EXPECT_EQ(completed, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, Collectives,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+TEST(Collectives, SequentialBarriersDoNotInterfere) {
+  const int n = 4;
+  cluster::Cluster cl(cluster::NowConfig(n));
+  std::vector<int> rounds(n, 0);
+  launch_spmd(cl, n, [&](Par& par) -> sim::Task<> {
+    for (int i = 0; i < 10; ++i) {
+      co_await par.barrier();
+      ++rounds[par.rank()];
+      // Every rank must have completed at least round i by now.
+      for (int r = 0; r < n; ++r) EXPECT_GE(rounds[r], i);
+    }
+  });
+  cl.run_to_completion();
+  for (int r = 0; r < n; ++r) EXPECT_EQ(rounds[r], 10);
+}
+
+TEST(Collectives, ExchangePairsUp) {
+  cluster::Cluster cl(cluster::NowConfig(4));
+  int done = 0;
+  launch_spmd(cl, 4, [&](Par& par) -> sim::Task<> {
+    const int peer = par.rank() ^ 1;
+    for (int i = 0; i < 5; ++i) co_await par.exchange(peer, 10'000);
+    ++done;
+  });
+  cl.run_to_completion();
+  EXPECT_EQ(done, 4);
+}
+
+// ------------------------------------------------------------------- NPB
+
+TEST(Npb, EpScalesLinearly) {
+  auto cfg = cluster::NowConfig(4);
+  const double t1 = run_npb(cfg, NpbKernel::kEP, 1);
+  const double t4 = run_npb(cfg, NpbKernel::kEP, 4);
+  EXPECT_NEAR(t1 / t4, 4.0, 0.15);
+}
+
+TEST(Npb, IsCommunicationBound) {
+  auto cfg = cluster::NowConfig(4);
+  const double t1 = run_npb(cfg, NpbKernel::kIS, 1);
+  const double t4 = run_npb(cfg, NpbKernel::kIS, 4);
+  const double speedup = t1 / t4;
+  EXPECT_GT(speedup, 1.8);
+  EXPECT_LT(speedup, 3.7);  // visibly sub-linear: the transposes cost
+}
+
+TEST(Npb, DeterministicAcrossRuns) {
+  auto cfg = cluster::NowConfig(4);
+  EXPECT_EQ(run_npb(cfg, NpbKernel::kCG, 4), run_npb(cfg, NpbKernel::kCG, 4));
+}
+
+// --------------------------------------------------------------- linpack
+
+TEST(Linpack, SmallRunProducesSaneNumbers) {
+  LinpackParams lp;
+  lp.nodes = 4;
+  lp.grid_p = 2;
+  lp.grid_q = 2;
+  lp.n = 1200;
+  lp.nb = 300;
+  const auto r = run_linpack(cluster::NowConfig(4), lp);
+  EXPECT_GT(r.gflops, 0.05);
+  EXPECT_LT(r.gflops, 4 * 0.334);  // cannot beat 4 nodes' peak
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+// ------------------------------------------------------------- timeshare
+
+TEST(Timeshare, TwoAppsWithinPaperBound) {
+  TimeshareParams p;
+  p.nodes = 4;
+  p.iterations = 5;
+  const auto r = run_timeshare(p);
+  EXPECT_GT(r.t_a_alone_sec, 0);
+  EXPECT_GT(r.t_b_alone_sec, 0);
+  // Paper: time-shared execution within 15% of running in sequence.
+  EXPECT_LT(r.overhead_ratio, 1.15);
+  EXPECT_GT(r.overhead_ratio, 0.5);
+}
+
+// ------------------------------------------------------------- workloads
+
+TEST(Contention, OneVnSharesFairly) {
+  ContentionParams p;
+  p.clients = 2;
+  p.warmup = 10 * sim::ms;
+  p.window = 30 * sim::ms;
+  p.collect_rtt = false;
+  const auto r = run_contention(p);
+  EXPECT_GT(r.aggregate_per_sec, 50'000);
+  const double lo = r.min_client_per_sec(), hi = r.max_client_per_sec();
+  EXPECT_GT(lo / hi, 0.8);  // proportional shares
+}
+
+TEST(Contention, OvercommittedFramesStillServe) {
+  ContentionParams p;
+  p.mode = ContentionParams::Mode::kSingleThread;
+  p.clients = 10;  // 10 endpoints > 8 frames
+  p.server_frames = 8;
+  p.warmup = 50 * sim::ms;
+  p.window = 40 * sim::ms;
+  p.collect_rtt = false;
+  const auto r = run_contention(p);
+  EXPECT_GT(r.aggregate_per_sec, 20'000);  // robust, not collapsed
+  EXPECT_GT(r.remaps_per_sec, 50);         // virtualization really active
+}
+
+// ---------------------------------------------- calibration regressions
+
+TEST(Calibration, LogpMatchesPaperShape) {
+  const LogpResult am = measure_logp(cluster::NowConfig(2), 150, 1500);
+  const LogpResult gam = measure_logp(cluster::GamConfig(2), 150, 1500);
+  // Fig 3 (paper values in comments).
+  EXPECT_NEAR(am.os_us, 2.9, 0.8);    // ~2.9
+  EXPECT_NEAR(am.g_us, 12.8, 2.5);    // ~12.8
+  EXPECT_NEAR(gam.g_us, 5.8, 2.0);    // ~5.8
+  const double rtt_ratio = am.rtt_us / gam.rtt_us;
+  EXPECT_GT(rtt_ratio, 1.05);  // paper: 1.23
+  EXPECT_LT(rtt_ratio, 1.5);
+  const double gap_ratio = am.g_us / gam.g_us;
+  EXPECT_GT(gap_ratio, 1.8);  // paper: 2.21
+  EXPECT_LT(gap_ratio, 3.2);
+}
+
+TEST(Calibration, DefensiveChecksCostAboutAMicrosecond) {
+  auto on = cluster::NowConfig(2);
+  auto off = cluster::NowConfig(2);
+  off.nic.defensive_checks = false;
+  const auto with = measure_logp(on, 100, 800);
+  const auto without = measure_logp(off, 100, 800);
+  EXPECT_NEAR(with.l_us - without.l_us, 1.1, 0.6);  // paper: ~1.1us
+  EXPECT_GT(with.g_us - without.g_us, 0.8);
+}
+
+TEST(Calibration, BandwidthMatchesPaperShape) {
+  const auto am = measure_bandwidth(cluster::NowConfig(2), {512, 8192}, 100, 10);
+  // Fig 4: 43.9 MB/s at 8KB (93% of the 46.8 MB/s SBUS limit).
+  EXPECT_GT(am.points[1].mbps, 38.0);
+  EXPECT_LT(am.points[1].mbps, 46.8);
+  // RTT slope ~0.1112 us/B.
+  EXPECT_NEAR(am.slope_us_per_byte, 0.1112, 0.02);
+}
+
+}  // namespace
+}  // namespace vnet::apps

@@ -1,0 +1,108 @@
+// Tests for am::Bundle: the per-process endpoint collection with a shared
+// event channel (§3; the pooled analogue of VIA's completion queues).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "am/bundle.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/config.hpp"
+
+namespace vnet::am {
+namespace {
+
+TEST(Bundle, WaitAnyReturnsTheEndpointWithTraffic) {
+  cluster::Cluster cl(cluster::NowConfig(2));
+  std::vector<Name> names(3);
+  int served_on = -1;
+
+  cl.spawn_thread(1, "server", [&](host::HostThread& t) -> sim::Task<> {
+    Bundle bundle(t.host());
+    for (int i = 0; i < 3; ++i) {
+      Endpoint* ep = co_await bundle.create_endpoint(t, 0x80 + i);
+      ep->set_event_mask(kEventReceive);
+      ep->set_handler(1, [&, i](Endpoint&, const Message&) {
+        served_on = i;
+      });
+      names[static_cast<std::size_t>(i)] = ep->name();
+    }
+    Endpoint* hot = co_await bundle.wait_any(t);
+    EXPECT_EQ(hot, bundle.at(1));  // traffic goes to endpoint #1
+    co_await bundle.poll_all(t);
+    co_await t.sleep(2 * sim::ms);
+    co_await bundle.destroy_all(t);
+    EXPECT_EQ(bundle.size(), 0u);
+  });
+  cl.spawn_thread(0, "client", [&](host::HostThread& t) -> sim::Task<> {
+    auto ep = co_await Endpoint::create(t, 0x9);
+    while (!names[1].valid()) co_await t.sleep(20 * sim::us);
+    co_await t.sleep(1 * sim::ms);  // make the server block first
+    ep->map(0, names[1]);
+    co_await ep->request(t, 0, 1, 42);
+    while (ep->credits_in_use() > 0) co_await ep->poll(t, 8);
+  });
+  cl.run_to_completion();
+  EXPECT_EQ(served_on, 1);
+}
+
+TEST(Bundle, WaitAnyForTimesOutQuietly) {
+  cluster::Cluster cl(cluster::NowConfig(1));
+  bool timed_out = false;
+  cl.spawn_thread(0, "t", [&](host::HostThread& t) -> sim::Task<> {
+    Bundle bundle(t.host());
+    for (int i = 0; i < 2; ++i) {
+      Endpoint* ep = co_await bundle.create_endpoint(t, i);
+      ep->set_event_mask(kEventReceive);
+    }
+    Endpoint* hot = co_await bundle.wait_any_for(t, 3 * sim::ms);
+    timed_out = (hot == nullptr);
+    co_await bundle.destroy_all(t);
+  });
+  cl.run_to_completion();
+  EXPECT_TRUE(timed_out);
+}
+
+TEST(Bundle, PollAllSweepsEveryEndpoint) {
+  cluster::Cluster cl(cluster::NowConfig(2));
+  std::vector<Name> names(4);
+  std::multiset<int> hits;
+  bool server_ready = false;
+
+  cl.spawn_thread(1, "server", [&](host::HostThread& t) -> sim::Task<> {
+    Bundle bundle(t.host());
+    for (int i = 0; i < 4; ++i) {
+      Endpoint* ep = co_await bundle.create_endpoint(t, 0x90 + i);
+      ep->set_event_mask(kEventReceive);
+      ep->set_handler(1, [&, i](Endpoint&, const Message&) {
+        hits.insert(i);
+      });
+      names[static_cast<std::size_t>(i)] = ep->name();
+    }
+    server_ready = true;
+    while (hits.size() < 8) {
+      (void)co_await bundle.wait_any_for(t, 1 * sim::ms);
+      co_await bundle.poll_all(t);
+    }
+    co_await t.sleep(2 * sim::ms);
+  });
+  cl.spawn_thread(0, "client", [&](host::HostThread& t) -> sim::Task<> {
+    auto ep = co_await Endpoint::create(t, 0xa);
+    while (!server_ready) co_await t.sleep(20 * sim::us);
+    for (int i = 0; i < 4; ++i) {
+      ep->map(static_cast<std::uint32_t>(i),
+              names[static_cast<std::size_t>(i)]);
+    }
+    for (int round = 0; round < 2; ++round) {
+      for (int i = 0; i < 4; ++i) {
+        co_await ep->request(t, static_cast<std::uint32_t>(i), 1, 1);
+      }
+    }
+    while (ep->credits_in_use() > 0) co_await ep->poll(t, 16);
+  });
+  cl.run_to_completion();
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(hits.count(i), 2u) << i;
+}
+
+}  // namespace
+}  // namespace vnet::am
