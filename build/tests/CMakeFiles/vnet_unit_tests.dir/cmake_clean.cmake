@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnet_unit_tests.dir/am_test.cpp.o"
+  "CMakeFiles/vnet_unit_tests.dir/am_test.cpp.o.d"
+  "CMakeFiles/vnet_unit_tests.dir/apps_test.cpp.o"
+  "CMakeFiles/vnet_unit_tests.dir/apps_test.cpp.o.d"
+  "CMakeFiles/vnet_unit_tests.dir/bundle_test.cpp.o"
+  "CMakeFiles/vnet_unit_tests.dir/bundle_test.cpp.o.d"
+  "CMakeFiles/vnet_unit_tests.dir/extensions_test.cpp.o"
+  "CMakeFiles/vnet_unit_tests.dir/extensions_test.cpp.o.d"
+  "CMakeFiles/vnet_unit_tests.dir/host_test.cpp.o"
+  "CMakeFiles/vnet_unit_tests.dir/host_test.cpp.o.d"
+  "CMakeFiles/vnet_unit_tests.dir/lanai_test.cpp.o"
+  "CMakeFiles/vnet_unit_tests.dir/lanai_test.cpp.o.d"
+  "CMakeFiles/vnet_unit_tests.dir/myrinet_test.cpp.o"
+  "CMakeFiles/vnet_unit_tests.dir/myrinet_test.cpp.o.d"
+  "CMakeFiles/vnet_unit_tests.dir/property_test.cpp.o"
+  "CMakeFiles/vnet_unit_tests.dir/property_test.cpp.o.d"
+  "CMakeFiles/vnet_unit_tests.dir/sim_test.cpp.o"
+  "CMakeFiles/vnet_unit_tests.dir/sim_test.cpp.o.d"
+  "CMakeFiles/vnet_unit_tests.dir/sock_test.cpp.o"
+  "CMakeFiles/vnet_unit_tests.dir/sock_test.cpp.o.d"
+  "CMakeFiles/vnet_unit_tests.dir/via_test.cpp.o"
+  "CMakeFiles/vnet_unit_tests.dir/via_test.cpp.o.d"
+  "vnet_unit_tests"
+  "vnet_unit_tests.pdb"
+  "vnet_unit_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnet_unit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
