@@ -1,0 +1,89 @@
+// Chaos matrix report: runs every standard chaos scenario across a seed
+// sweep and prints a per-scenario table of delivery accounting, transport
+// work, and recovery time. Output is deterministic for a fixed seed base —
+// two identical invocations must print identical bytes (no wall-clock, no
+// pointers), which scripts/check.sh relies on.
+//
+// Usage: bench_chaos_matrix [--seeds N] [--seed-base S] [--scenario NAME]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "chaos/scenario.hpp"
+
+using namespace vnet;
+
+int main(int argc, char** argv) {
+  std::setbuf(stdout, nullptr);
+  int seeds = 3;
+  std::uint64_t seed_base = 1;
+  std::string only;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--seeds") && i + 1 < argc) {
+      seeds = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--seed-base") && i + 1 < argc) {
+      seed_base = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--scenario") && i + 1 < argc) {
+      only = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--seeds N] [--seed-base S] [--scenario NAME]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  if (seeds < 1) {
+    std::fprintf(stderr, "error: --seeds must be >= 1 (got %d)\n", seeds);
+    return 2;
+  }
+  if (!only.empty()) {
+    bool known = false;
+    for (const std::string& name : chaos::standard_scenario_names()) {
+      known = known || name == only;
+    }
+    if (!known) {
+      std::fprintf(stderr, "error: unknown scenario '%s'; known:", only.c_str());
+      for (const std::string& name : chaos::standard_scenario_names()) {
+        std::fprintf(stderr, " %s", name.c_str());
+      }
+      std::fprintf(stderr, "\n");
+      return 2;
+    }
+  }
+
+  std::printf("chaos matrix: %d seed(s) per scenario, base %llu\n\n", seeds,
+              static_cast<unsigned long long>(seed_base));
+  std::printf("%s\n", chaos::result_table_header().c_str());
+
+  int total_violations = 0;
+  std::vector<chaos::ScenarioResult> flagged;
+  for (const std::string& name : chaos::standard_scenario_names()) {
+    if (!only.empty() && name != only) continue;
+    for (int s = 0; s < seeds; ++s) {
+      const auto spec =
+          chaos::standard_scenario(name, seed_base + std::uint64_t(s));
+      const auto res = chaos::run_scenario(spec);
+      std::printf("%s\n", chaos::result_table_row(res).c_str());
+      total_violations += static_cast<int>(res.violations.size());
+      if (!res.violations.empty()) flagged.push_back(res);
+    }
+  }
+
+  for (const auto& res : flagged) {
+    std::printf("\n%s seed %llu violations:\n", res.name.c_str(),
+                static_cast<unsigned long long>(res.seed));
+    for (const auto& v : res.violations) std::printf("  %s\n", v.c_str());
+    std::printf("campaign log:\n");
+    for (const auto& l : res.campaign_log) std::printf("  %s\n", l.c_str());
+    std::printf("%s", res.link_stats.c_str());
+  }
+
+  std::printf("\n%s\n", total_violations == 0
+                            ? "all invariants held"
+                            : "INVARIANT VIOLATIONS DETECTED");
+  return total_violations == 0 ? 0 : 1;
+}

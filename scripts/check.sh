@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Full pre-merge check: build the default and the ASan+UBSan configuration,
+# run the whole test suite in both, then run a small chaos matrix and verify
+# its output is deterministic (two runs, identical bytes).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== configure + build (default) =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+
+echo "== configure + build (ASan+UBSan) =="
+cmake -B build-asan -S . -DVNET_SANITIZE=ON >/dev/null
+cmake --build build-asan -j "$JOBS"
+
+echo "== tests (default) =="
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== tests (ASan+UBSan) =="
+ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "== chaos matrix (determinism check) =="
+./build/bench/bench_chaos_matrix --seeds 2 | tee /tmp/chaos_matrix.1
+./build/bench/bench_chaos_matrix --seeds 2 >/tmp/chaos_matrix.2
+diff -u /tmp/chaos_matrix.1 /tmp/chaos_matrix.2
+echo "chaos matrix deterministic"
+
+echo "== chaos matrix (ASan) =="
+./build-asan/bench/bench_chaos_matrix --seeds 1 >/dev/null
+
+echo "ALL CHECKS PASSED"

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "am/probe.hpp"
+
 namespace vnet::am {
 
 namespace {
@@ -251,6 +253,19 @@ sim::Task<> Endpoint::send_common(host::HostThread& t,
   desc.msg_id = state_->alloc_msg_id();
   desc.frag_count = frag_count_for(desc.body.bulk_bytes,
                                    host_->nic().config().max_packet_payload);
+  if (probe_ != nullptr) {
+    NodeId dst = myrinet::kInvalidNode;
+    if (is_request) {
+      if (desc.dest_index < state_->translations.size() &&
+          state_->translations[desc.dest_index].valid) {
+        dst = state_->translations[desc.dest_index].node;
+      }
+    } else {
+      dst = desc.reply_to.node;
+    }
+    probe_->message_injected(state_->node, state_->id, desc.msg_id, is_request,
+                             dst);
+  }
   state_->send_queue.push_back(std::move(desc));
   if (is_request) {
     ++outstanding_requests_;
@@ -320,6 +335,10 @@ sim::Task<std::size_t> Endpoint::poll(host::HostThread& t, std::size_t max) {
     ++processed;
 
     Message msg(std::move(entry));
+    if (probe_ != nullptr && !credit_only) {
+      probe_->message_delivered(msg.src_node(), msg.src_ep(), msg.msg_id(),
+                                msg.is_request(), state_->node, state_->id);
+    }
     if (!msg.is_request()) {
       if (outstanding_requests_ > 0) --outstanding_requests_;
       if (msg.handler() != kCreditHandler) {
@@ -376,6 +395,11 @@ sim::Task<> Endpoint::enqueue_reply_locked(host::HostThread& t,
   d.msg_id = state_->alloc_msg_id();
   d.frag_count = frag_count_for(d.body.bulk_bytes,
                                 host_->nic().config().max_packet_payload);
+  // Implicit credit replies are flow-control plumbing; don't track them.
+  if (probe_ != nullptr && d.body.handler != kCreditHandler) {
+    probe_->message_injected(state_->node, state_->id, d.msg_id,
+                             /*is_request=*/false, d.reply_to.node);
+  }
   state_->send_queue.push_back(std::move(d));
   host_->nic().doorbell(*state_);
 }
@@ -393,6 +417,13 @@ void Endpoint::on_send_progress() {
 }
 
 void Endpoint::on_returned(lanai::SendDescriptor d, lanai::NackReason r) {
+  // Record at the upcall, not at poll time: the return has surfaced to the
+  // sender even if the application never drains its returned queue. Credit
+  // replies are untracked at injection, so skip them here too.
+  if (probe_ != nullptr && state_ != nullptr &&
+      (d.body.is_request || d.body.handler != kCreditHandler)) {
+    probe_->message_returned(state_->node, state_->id, d.msg_id, r);
+  }
   returned_.push_back(ReturnedMessage{std::move(d), r});
   events_.notify_all();
   if (event_sink_ != nullptr) event_sink_->notify_all();

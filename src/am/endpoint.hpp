@@ -44,10 +44,18 @@ enum EventMask : std::uint32_t {
 /// All operations take the calling HostThread and charge its CPU for the
 /// library and PIO work — these charges are exactly the o_s / o_r
 /// overheads of the LogP characterization (Fig 3).
+class MessageProbe;
+
 class Endpoint {
  public:
   using Handler = std::function<void(Endpoint&, const Message&)>;
   using UndeliverableHandler = std::function<void(Endpoint&, ReturnedMessage)>;
+
+  /// Installs a process-wide message-accounting probe (see am/probe.hpp);
+  /// nullptr uninstalls. One probe observes all endpoints — it is the
+  /// attachment point for the chaos campaign's delivery ledger.
+  static void set_probe(MessageProbe* p) { probe_ = p; }
+  static MessageProbe* probe() { return probe_; }
 
   /// Creates an endpoint on `host`. Shared endpoints serialize operations
   /// from concurrent threads (with a small locking cost); exclusive ones
@@ -194,6 +202,8 @@ class Endpoint {
   bool destroyed_ = false;
   sim::CondVar* event_sink_ = nullptr;
   Stats stats_;
+
+  inline static MessageProbe* probe_ = nullptr;
 };
 
 }  // namespace vnet::am

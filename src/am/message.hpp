@@ -39,6 +39,9 @@ class Message {
   }
   NodeId src_node() const { return entry_.src_node; }
   EpId src_ep() const { return entry_.src_ep; }
+  /// Sender-side message id: (src_node, src_ep, msg_id) names the message
+  /// end to end (used by the chaos delivery ledger).
+  std::uint64_t msg_id() const { return entry_.msg_id; }
   sim::Time arrived_at() const { return entry_.arrived_at; }
 
   /// Sets the reply to this request; sent by poll() after the handler

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+#include "lanai/endpoint_state.hpp"
+#include "lanai/frame.hpp"
+
+namespace vnet::am {
+
+using lanai::EpId;
+using myrinet::NodeId;
+
+/// Observer interface for end-to-end message accounting. A single
+/// process-wide probe (Endpoint::set_probe) sees every tracked message at
+/// three points in its life:
+///
+///  * injected  — the application handed the message to the library and it
+///                entered the endpoint's send queue;
+///  * delivered — poll() consumed it at the destination (just before the
+///                handler, so duplicate *handler invocations* are visible);
+///  * returned  — it came back undeliverable (surfaced to the sender's
+///                returned queue; reason kNone == unreachable timeout).
+///
+/// Implicit credit replies (handler == kCreditHandler) are not tracked on
+/// either side — they are flow-control plumbing, not application messages.
+///
+/// Messages are keyed by (src_node, src_ep, msg_id); msg_id is unique per
+/// source endpoint. The chaos DeliveryLedger implements this to check
+/// exactly-once delivery and delivered-or-returned under fault campaigns.
+class MessageProbe {
+ public:
+  virtual ~MessageProbe() = default;
+
+  virtual void message_injected(NodeId src_node, EpId src_ep,
+                                std::uint64_t msg_id, bool is_request,
+                                NodeId dst_node) = 0;
+  virtual void message_delivered(NodeId src_node, EpId src_ep,
+                                 std::uint64_t msg_id, bool is_request,
+                                 NodeId at_node, EpId at_ep) = 0;
+  virtual void message_returned(NodeId src_node, EpId src_ep,
+                                std::uint64_t msg_id,
+                                lanai::NackReason reason) = 0;
+};
+
+}  // namespace vnet::am

@@ -1,0 +1,60 @@
+#include "chaos/campaign.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "lanai/nic.hpp"
+
+namespace vnet::chaos {
+
+Campaign::Campaign(cluster::Cluster& cluster, FaultPlan plan)
+    : cluster_(&cluster), actions_(plan.actions()) {
+  std::stable_sort(actions_.begin(), actions_.end(),
+                   [](const FaultAction& a, const FaultAction& b) {
+                     return a.at < b.at;
+                   });
+}
+
+void Campaign::start() {
+  assert(!started_);
+  started_ = true;
+  if (!actions_.empty()) cluster_->engine().spawn(runner());
+}
+
+sim::Process Campaign::runner() {
+  sim::Engine& engine = cluster_->engine();
+  for (const FaultAction& a : actions_) {
+    if (a.at > engine.now()) co_await engine.delay(a.at - engine.now());
+    apply(a);
+    last_action_time_ = engine.now();
+    log_.push_back(describe(a));
+    ++applied_;
+  }
+}
+
+void Campaign::apply(const FaultAction& a) {
+  myrinet::Fabric& fabric = cluster_->fabric();
+  switch (a.kind) {
+    case FaultAction::Kind::kHostLink:
+      if (a.node >= 0 && a.node < cluster_->size()) {
+        fabric.set_host_link(a.node, a.up);
+      }
+      break;
+    case FaultAction::Kind::kTrunkLink:
+      fabric.set_trunk_link(a.node, a.port, a.up);
+      break;
+    case FaultAction::Kind::kNicReboot:
+      if (a.node >= 0 && a.node < cluster_->size()) {
+        cluster_->host(a.node).nic().reboot();
+      }
+      break;
+    case FaultAction::Kind::kFaultRates:
+      fabric.set_fault_rates(a.drop, a.corrupt);
+      break;
+    case FaultAction::Kind::kBurstLoss:
+      fabric.set_burst_loss(a.burst);
+      break;
+  }
+}
+
+}  // namespace vnet::chaos

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chaos/fault_plan.hpp"
+#include "cluster/cluster.hpp"
+#include "sim/process.hpp"
+
+namespace vnet::chaos {
+
+/// Executes a FaultPlan against a running cluster: a sim::Process sleeps
+/// until each action's time and applies it to the fabric / NICs, keeping a
+/// log and the time of the last applied action (the chaos matrix measures
+/// recovery as quiescence time minus that). Deterministic: the plan is
+/// fixed up front and the engine orders everything.
+///
+/// The Campaign must stay alive until the cluster's engine stops running
+/// (the runner process refers back to it).
+class Campaign {
+ public:
+  Campaign(cluster::Cluster& cluster, FaultPlan plan);
+
+  /// Spawns the runner process on the cluster's engine. Call once, before
+  /// (or during) the run.
+  void start();
+
+  std::size_t applied() const { return applied_; }
+  bool done() const { return applied_ == actions_.size(); }
+  /// Time of the most recently applied action (0 if none yet).
+  sim::Time last_action_time() const { return last_action_time_; }
+  const std::vector<std::string>& log() const { return log_; }
+
+ private:
+  sim::Process runner();
+  void apply(const FaultAction& a);
+
+  cluster::Cluster* cluster_;
+  std::vector<FaultAction> actions_;  // sorted by time
+  std::size_t applied_ = 0;
+  sim::Time last_action_time_ = 0;
+  std::vector<std::string> log_;
+  bool started_ = false;
+};
+
+}  // namespace vnet::chaos

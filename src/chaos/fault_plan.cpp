@@ -1,0 +1,176 @@
+#include "chaos/fault_plan.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace vnet::chaos {
+
+FaultPlan& FaultPlan::host_link(sim::Time at, int node, bool up) {
+  FaultAction a;
+  a.at = at;
+  a.kind = FaultAction::Kind::kHostLink;
+  a.node = node;
+  a.up = up;
+  actions_.push_back(a);
+  return *this;
+}
+
+FaultPlan& FaultPlan::host_flap(sim::Time at, int node,
+                                sim::Duration down_for) {
+  host_link(at, node, false);
+  return host_link(at + down_for, node, true);
+}
+
+FaultPlan& FaultPlan::trunk_link(sim::Time at, int leaf, int spine, bool up) {
+  FaultAction a;
+  a.at = at;
+  a.kind = FaultAction::Kind::kTrunkLink;
+  a.node = leaf;
+  a.port = spine;
+  a.up = up;
+  actions_.push_back(a);
+  return *this;
+}
+
+FaultPlan& FaultPlan::trunk_flap(sim::Time at, int leaf, int spine,
+                                 sim::Duration down_for) {
+  trunk_link(at, leaf, spine, false);
+  return trunk_link(at + down_for, leaf, spine, true);
+}
+
+FaultPlan& FaultPlan::nic_reboot(sim::Time at, int node) {
+  FaultAction a;
+  a.at = at;
+  a.kind = FaultAction::Kind::kNicReboot;
+  a.node = node;
+  actions_.push_back(a);
+  return *this;
+}
+
+FaultPlan& FaultPlan::fault_rates(sim::Time at, double drop, double corrupt) {
+  FaultAction a;
+  a.at = at;
+  a.kind = FaultAction::Kind::kFaultRates;
+  a.drop = drop;
+  a.corrupt = corrupt;
+  actions_.push_back(a);
+  return *this;
+}
+
+FaultPlan& FaultPlan::burst_loss(sim::Time at,
+                                 const myrinet::GilbertElliottParams& burst) {
+  FaultAction a;
+  a.at = at;
+  a.kind = FaultAction::Kind::kBurstLoss;
+  a.burst = burst;
+  actions_.push_back(a);
+  return *this;
+}
+
+FaultPlan& FaultPlan::burst_episode(
+    sim::Time at, sim::Duration duration,
+    const myrinet::GilbertElliottParams& burst) {
+  burst_loss(at, burst);
+  myrinet::GilbertElliottParams off;
+  off.enabled = false;
+  return burst_loss(at + duration, off);
+}
+
+FaultPlan FaultPlan::chaos_mode(sim::Rng& rng, const ChaosOptions& opt) {
+  FaultPlan plan;
+  const sim::Time window = opt.end - opt.start;
+  auto pick_node = [&] {
+    return opt.first_node +
+           static_cast<int>(rng.below(
+               static_cast<std::uint64_t>(opt.nodes - opt.first_node)));
+  };
+  for (int i = 0; i < opt.events; ++i) {
+    // Leave room for the longest heal so everything is up by opt.end.
+    const sim::Time at =
+        opt.start + rng.range(0, std::max<sim::Duration>(
+                                     1, window - opt.max_down - 1));
+    const sim::Duration dur =
+        rng.range(opt.max_down / 4, std::max<sim::Duration>(
+                                        opt.max_down / 4 + 1, opt.max_down));
+    enum { kFlap, kTrunk, kReboot, kRates, kBurst, kKinds };
+    int kind = static_cast<int>(rng.below(kKinds));
+    if (kind == kTrunk && (opt.leaves == 0 || opt.spines == 0)) kind = kFlap;
+    if (kind == kReboot && !opt.allow_reboot) kind = kFlap;
+    if (kind == kBurst && !opt.allow_burst) kind = kRates;
+    switch (kind) {
+      case kFlap:
+        plan.host_flap(at, pick_node(), dur);
+        break;
+      case kTrunk:
+        plan.trunk_flap(at,
+                        static_cast<int>(rng.below(
+                            static_cast<std::uint64_t>(opt.leaves))),
+                        static_cast<int>(rng.below(
+                            static_cast<std::uint64_t>(opt.spines))),
+                        dur);
+        break;
+      case kReboot:
+        plan.nic_reboot(at, pick_node());
+        break;
+      case kRates: {
+        const double drop = opt.max_drop * rng.uniform();
+        const double corrupt = opt.max_corrupt * rng.uniform();
+        plan.fault_rates(at, drop, corrupt);
+        plan.fault_rates(at + dur, 0.0, 0.0);
+        break;
+      }
+      case kBurst: {
+        myrinet::GilbertElliottParams ge;
+        ge.enabled = true;
+        ge.p_good_to_bad = 0.002 + 0.01 * rng.uniform();
+        ge.p_bad_to_good = 0.05 + 0.1 * rng.uniform();
+        ge.loss_bad = 0.4 + 0.4 * rng.uniform();
+        plan.burst_episode(at, dur, ge);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  // Belt and braces: whatever the draws above did, end in a healed state.
+  plan.fault_rates(opt.end, 0.0, 0.0);
+  myrinet::GilbertElliottParams off;
+  plan.burst_loss(opt.end, off);
+  return plan;
+}
+
+std::string describe(const FaultAction& a) {
+  char buf[128];
+  const double at_ms = sim::to_msec(a.at);
+  switch (a.kind) {
+    case FaultAction::Kind::kHostLink:
+      std::snprintf(buf, sizeof(buf), "%8.3f ms  host %d link %s", at_ms,
+                    a.node, a.up ? "up" : "down");
+      break;
+    case FaultAction::Kind::kTrunkLink:
+      std::snprintf(buf, sizeof(buf), "%8.3f ms  trunk leaf%d<->spine%d %s",
+                    at_ms, a.node, a.port, a.up ? "up" : "down");
+      break;
+    case FaultAction::Kind::kNicReboot:
+      std::snprintf(buf, sizeof(buf), "%8.3f ms  nic %d reboot", at_ms,
+                    a.node);
+      break;
+    case FaultAction::Kind::kFaultRates:
+      std::snprintf(buf, sizeof(buf), "%8.3f ms  rates drop=%.4f corrupt=%.4f",
+                    at_ms, a.drop, a.corrupt);
+      break;
+    case FaultAction::Kind::kBurstLoss:
+      if (a.burst.enabled) {
+        std::snprintf(buf, sizeof(buf),
+                      "%8.3f ms  burst on  g2b=%.4f b2g=%.4f loss=%.2f", at_ms,
+                      a.burst.p_good_to_bad, a.burst.p_bad_to_good,
+                      a.burst.loss_bad);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%8.3f ms  burst off", at_ms);
+      }
+      break;
+  }
+  return buf;
+}
+
+}  // namespace vnet::chaos

@@ -1,0 +1,108 @@
+#include "chaos/ledger.hpp"
+
+#include <cstdio>
+
+namespace vnet::chaos {
+
+namespace {
+
+std::string key_str(NodeId node, EpId ep, std::uint64_t msg_id) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "(n%d ep%d msg%llu)", node, ep,
+                static_cast<unsigned long long>(msg_id));
+  return buf;
+}
+
+}  // namespace
+
+void DeliveryLedger::message_injected(NodeId src_node, EpId src_ep,
+                                      std::uint64_t msg_id, bool is_request,
+                                      NodeId dst_node) {
+  Record& r = records_[{src_node, src_ep, msg_id}];
+  r.is_request = is_request;
+  r.dst_node = dst_node;
+  r.injected_at = engine_->now();
+  ++unresolved_;
+}
+
+void DeliveryLedger::mark_terminal(Record& r) {
+  if (r.delivered + r.returned == 1) {  // first terminal event
+    r.resolved_at = engine_->now();
+    last_terminal_time_ = engine_->now();
+    if (unresolved_ > 0) --unresolved_;
+  }
+}
+
+void DeliveryLedger::message_delivered(NodeId src_node, EpId src_ep,
+                                       std::uint64_t msg_id, bool /*is_req*/,
+                                       NodeId at_node, EpId at_ep) {
+  auto it = records_.find({src_node, src_ep, msg_id});
+  if (it == records_.end()) {
+    ++orphan_events_;
+    if (orphans_.size() < 16) {
+      orphans_.push_back("delivery without injection " +
+                         key_str(src_node, src_ep, msg_id) + " at node " +
+                         std::to_string(at_node) + " ep " +
+                         std::to_string(at_ep));
+    }
+    return;
+  }
+  ++it->second.delivered;
+  mark_terminal(it->second);
+}
+
+void DeliveryLedger::message_returned(NodeId src_node, EpId src_ep,
+                                      std::uint64_t msg_id,
+                                      lanai::NackReason /*reason*/) {
+  auto it = records_.find({src_node, src_ep, msg_id});
+  if (it == records_.end()) {
+    ++orphan_events_;
+    if (orphans_.size() < 16) {
+      orphans_.push_back("return without injection " +
+                         key_str(src_node, src_ep, msg_id));
+    }
+    return;
+  }
+  ++it->second.returned;
+  mark_terminal(it->second);
+}
+
+DeliveryLedger::Counts DeliveryLedger::counts() const {
+  Counts c;
+  c.injected = records_.size();
+  c.unresolved = unresolved_;
+  c.orphan_events = orphan_events_;
+  for (const auto& [key, r] : records_) {
+    if (r.delivered > 0) ++c.delivered;
+    if (r.returned > 0) ++c.returned;
+    if (r.delivered > 1) {
+      c.duplicate_deliveries += static_cast<std::uint64_t>(r.delivered - 1);
+    }
+    if (r.delivered > 0 && r.returned > 0) ++c.delivered_and_returned;
+  }
+  return c;
+}
+
+std::vector<std::string> DeliveryLedger::violations() const {
+  std::vector<std::string> out;
+  for (const auto& [key, r] : records_) {
+    const auto& [node, ep, msg_id] = key;
+    if (r.delivered > 1) {
+      out.push_back("duplicate delivery: " + key_str(node, ep, msg_id) +
+                    " handled " + std::to_string(r.delivered) + " times");
+    }
+    if (r.delivered == 0 && r.returned == 0) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), " injected at %.3f ms",
+                    sim::to_msec(r.injected_at));
+      out.push_back("silently lost: " + key_str(node, ep, msg_id) +
+                    (r.is_request ? " request" : " reply") + " to node " +
+                    std::to_string(r.dst_node) + buf);
+    }
+    if (out.size() >= 32) break;  // enough to diagnose
+  }
+  for (const auto& o : orphans_) out.push_back(o);
+  return out;
+}
+
+}  // namespace vnet::chaos

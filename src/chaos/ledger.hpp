@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "am/endpoint.hpp"
+#include "am/probe.hpp"
+#include "sim/engine.hpp"
+
+namespace vnet::chaos {
+
+using lanai::EpId;
+using myrinet::NodeId;
+
+/// Global message-accounting ledger: implements am::MessageProbe and records
+/// every tracked message from injection to its terminal state. At campaign
+/// end it checks the transport's end-to-end invariants (§3.2, §5.1):
+///
+///  * exactly-once — no message produces more than one handler invocation,
+///    no matter how many times the fabric forced a retransmission;
+///  * delivered-or-returned — no message vanishes silently: each is either
+///    consumed at the destination or surfaced to the sender's
+///    undeliverable handler. A message that is both delivered *and*
+///    returned is legal (inherent ambiguity: the transport cannot know
+///    whether a never-acked message died before or after delivery) and is
+///    counted separately, not flagged.
+///
+/// Install with am::Endpoint::set_probe (see ProbeGuard).
+class DeliveryLedger : public am::MessageProbe {
+ public:
+  explicit DeliveryLedger(sim::Engine& engine) : engine_(&engine) {}
+
+  // --- am::MessageProbe ---
+  void message_injected(NodeId src_node, EpId src_ep, std::uint64_t msg_id,
+                        bool is_request, NodeId dst_node) override;
+  void message_delivered(NodeId src_node, EpId src_ep, std::uint64_t msg_id,
+                         bool is_request, NodeId at_node,
+                         EpId at_ep) override;
+  void message_returned(NodeId src_node, EpId src_ep, std::uint64_t msg_id,
+                        lanai::NackReason reason) override;
+
+  struct Counts {
+    std::uint64_t injected = 0;
+    std::uint64_t delivered = 0;  ///< messages with >= 1 delivery
+    std::uint64_t returned = 0;   ///< messages with >= 1 return
+    std::uint64_t duplicate_deliveries = 0;  ///< extra handler invocations
+    std::uint64_t delivered_and_returned = 0;  ///< legal ambiguity
+    std::uint64_t unresolved = 0;  ///< injected, no terminal state yet
+    std::uint64_t orphan_events = 0;  ///< delivery/return with no injection
+  };
+  Counts counts() const;
+
+  std::uint64_t unresolved() const { return unresolved_; }
+  bool fully_resolved() const { return unresolved_ == 0; }
+  /// Engine time of the most recent first-terminal event (delivery or
+  /// return); the campaign's recovery-time measurement.
+  sim::Time last_terminal_time() const { return last_terminal_time_; }
+
+  /// Invariant violations: duplicates, unresolved (silently lost)
+  /// messages, and orphan events. Empty on a correct transport once the
+  /// campaign has quiesced.
+  std::vector<std::string> violations() const;
+
+ private:
+  struct Record {
+    bool is_request = true;
+    NodeId dst_node = myrinet::kInvalidNode;
+    int delivered = 0;
+    int returned = 0;
+    sim::Time injected_at = 0;
+    sim::Time resolved_at = -1;
+  };
+  using Key = std::tuple<NodeId, EpId, std::uint64_t>;
+
+  void mark_terminal(Record& r);
+
+  sim::Engine* engine_;
+  std::map<Key, Record> records_;
+  std::uint64_t unresolved_ = 0;
+  std::uint64_t orphan_events_ = 0;
+  std::vector<std::string> orphans_;
+  sim::Time last_terminal_time_ = 0;
+};
+
+/// RAII installer for the process-wide endpoint probe.
+class ProbeGuard {
+ public:
+  explicit ProbeGuard(am::MessageProbe* p) { am::Endpoint::set_probe(p); }
+  ~ProbeGuard() { am::Endpoint::set_probe(nullptr); }
+  ProbeGuard(const ProbeGuard&) = delete;
+  ProbeGuard& operator=(const ProbeGuard&) = delete;
+};
+
+}  // namespace vnet::chaos

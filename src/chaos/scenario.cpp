@@ -1,0 +1,397 @@
+#include "chaos/scenario.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "am/endpoint.hpp"
+#include "lanai/nic.hpp"
+
+namespace vnet::chaos {
+
+namespace {
+
+// Client request status.
+constexpr int kPending = 0;
+constexpr int kReplied = 1;
+constexpr int kReturnedFinal = 2;  // returned, no failover -> terminal
+
+struct SharedState {
+  am::Name server_name;
+  am::Name replica_name;
+  int published = 0;
+  int clients_done = 0;
+  bool stop = false;
+
+  std::uint64_t issued = 0;
+  std::uint64_t replies = 0;
+  std::uint64_t returns = 0;
+  std::uint64_t reissued = 0;
+  std::uint64_t unfinished = 0;
+};
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  const int nodes = 3 + spec.clients;
+  cluster::ClusterConfig cfg = cluster::NowConfig(nodes);
+  cfg.seed = spec.seed;
+  if (spec.fat_tree) {
+    cfg.topology = cluster::ClusterConfig::Topology::kFatTree;
+    cfg.hosts_per_leaf = 2;
+    cfg.spines = 2;
+  } else {
+    cfg.topology = cluster::ClusterConfig::Topology::kCrossbar;
+  }
+  // Campaigns run for tens of simulated milliseconds, so tighten the
+  // transport's patience relative to the 1 s production default.
+  cfg.nic.retransmit_timeout = 200 * sim::us;
+  cfg.nic.unreachable_timeout = 10 * sim::ms;
+  if (spec.tweak) spec.tweak(cfg);
+
+  // Declaration order is destruction safety: `parked` (endpoints) must die
+  // before the cluster whose NICs they detach from; the ProbeGuard must
+  // uninstall before the ledger goes away.
+  cluster::Cluster cl(cfg);
+  DeliveryLedger ledger(cl.engine());
+  ProbeGuard probe_guard(&ledger);
+  sim::Rng plan_rng = cl.engine().rng().split();
+  Campaign campaign(cl, spec.plan ? spec.plan(cl, plan_rng) : FaultPlan{});
+  SharedState sh;
+  std::vector<std::unique_ptr<am::Endpoint>> parked;
+
+  // --- servers: node 1 = primary, node 2 = replica (echo service) ---
+  auto server_body = [&sh, &parked](am::Name* slot, std::uint64_t tag)
+      -> cluster::Cluster::ThreadBody {
+    return [&sh, &parked, slot, tag](host::HostThread& t) -> sim::Task<> {
+      auto ep = co_await am::Endpoint::create(t, tag);
+      ep->set_handler(1, [](am::Endpoint&, const am::Message& m) {
+        m.reply(2, {m.arg(0)});
+      });
+      // Replies to crashed/unreachable clients just come back; count is in
+      // the ledger, the server has no recovery to do.
+      ep->set_undeliverable_handler([](am::Endpoint&, am::ReturnedMessage) {});
+      ep->set_event_mask(am::kEventAll);
+      *slot = ep->name();
+      ++sh.published;
+      while (!sh.stop) {
+        (void)co_await ep->wait_for(t, 1 * sim::ms);
+        co_await ep->poll(t, 64);
+      }
+      while (co_await ep->poll(t, 64) > 0) {
+      }
+      // Park instead of destroying: late retransmissions / returns for this
+      // endpoint must still reach the ledger after the thread exits.
+      parked.push_back(std::move(ep));
+    };
+  };
+  cl.spawn_thread(1, "server", server_body(&sh.server_name, 0xA11CE));
+  cl.spawn_thread(2, "replica", server_body(&sh.replica_name, 0xB0B));
+
+  // --- clients: nodes 3 .. 3+clients ---
+  for (int c = 0; c < spec.clients; ++c) {
+    cl.spawn_thread(
+        3 + c, "client" + std::to_string(c),
+        [&spec, &sh, &parked, c](host::HostThread& t) -> sim::Task<> {
+          auto ep =
+              co_await am::Endpoint::create(t, 0xC0000 + std::uint64_t(c));
+          const int n = spec.requests_per_client;
+          std::vector<int> status(static_cast<std::size_t>(n), kPending);
+          std::vector<int> reissue_queue;
+
+          ep->set_handler(2, [&sh, &status](am::Endpoint&,
+                                            const am::Message& m) {
+            ++sh.replies;
+            const std::size_t i = static_cast<std::size_t>(m.arg(0));
+            if (i < status.size()) status[i] = kReplied;
+          });
+          ep->set_undeliverable_handler(
+              [&spec, &sh, &status, &reissue_queue](am::Endpoint&,
+                                                    am::ReturnedMessage r) {
+                ++sh.returns;
+                if (!r.descriptor.body.is_request) return;
+                const std::size_t i =
+                    static_cast<std::size_t>(r.descriptor.body.args[0]);
+                if (i >= status.size() || status[i] != kPending) return;
+                if (spec.failover) {
+                  reissue_queue.push_back(static_cast<int>(i));
+                } else {
+                  status[i] = kReturnedFinal;
+                }
+              });
+          ep->set_event_mask(am::kEventAll);
+
+          while (sh.published < 2) co_await t.sleep(100 * sim::us);
+          ep->map(0, sh.server_name);
+          ep->map(1, sh.replica_name);
+
+          for (int i = 0; i < n; ++i) {
+            if (spec.bulk_bytes > 0) {
+              co_await ep->request_bulk(t, 0, 1, spec.bulk_bytes, nullptr,
+                                        static_cast<std::uint64_t>(i));
+            } else {
+              co_await ep->request(t, 0, 1, static_cast<std::uint64_t>(i));
+            }
+            ++sh.issued;
+            co_await ep->poll(t, 4);
+            if (spec.send_spacing > 0) co_await t.sleep(spec.send_spacing);
+          }
+
+          auto pending = [&status] {
+            return static_cast<std::uint64_t>(
+                std::count(status.begin(), status.end(), kPending));
+          };
+          auto flush_reissues = [&](host::HostThread& th) -> sim::Task<> {
+            while (!reissue_queue.empty()) {
+              const int idx = reissue_queue.back();
+              reissue_queue.pop_back();
+              if (status[static_cast<std::size_t>(idx)] != kPending) continue;
+              co_await ep->request(th, 1, 1,
+                                   static_cast<std::uint64_t>(idx));
+              ++sh.reissued;
+              ++sh.issued;
+            }
+          };
+
+          sim::Time deadline = t.engine().now() + spec.client_deadline;
+          while (pending() > 0 && t.engine().now() < deadline) {
+            co_await flush_reissues(t);
+            (void)co_await ep->wait_for(t, 500 * sim::us);
+            co_await ep->poll(t, 64);
+          }
+
+          if (spec.failover && pending() > 0) {
+            // Requests that are neither acked nor returned at the deadline
+            // were (probably) delivered but their replies died with the
+            // primary — the inherent ambiguity of §3.2. Re-issue them all
+            // to the replica; the service must be idempotent.
+            for (int i = 0; i < n; ++i) {
+              if (status[static_cast<std::size_t>(i)] != kPending) continue;
+              co_await ep->request(t, 1, 1, static_cast<std::uint64_t>(i));
+              ++sh.reissued;
+              ++sh.issued;
+            }
+            deadline = t.engine().now() + spec.client_deadline;
+            while (pending() > 0 && t.engine().now() < deadline) {
+              co_await flush_reissues(t);
+              (void)co_await ep->wait_for(t, 500 * sim::us);
+              co_await ep->poll(t, 64);
+            }
+          }
+
+          sh.unfinished += pending();
+          ++sh.clients_done;
+          while (!sh.stop) {
+            (void)co_await ep->wait_for(t, 1 * sim::ms);
+            co_await ep->poll(t, 64);
+          }
+          while (co_await ep->poll(t, 64) > 0) {
+          }
+          parked.push_back(std::move(ep));
+        });
+  }
+
+  // --- controller: node 0, gates shutdown on ledger quiescence ---
+  cl.spawn_thread(0, "controller",
+                  [&spec, &sh, &ledger](host::HostThread& t) -> sim::Task<> {
+                    while (sh.clients_done < spec.clients) {
+                      co_await t.sleep(1 * sim::ms);
+                    }
+                    const sim::Time grace_end =
+                        t.engine().now() + spec.resolve_grace;
+                    while (!ledger.fully_resolved() &&
+                           t.engine().now() < grace_end) {
+                      co_await t.sleep(500 * sim::us);
+                    }
+                    sh.stop = true;
+                  });
+
+  campaign.start();
+  const sim::Duration run_time = cl.run_to_completion();
+  // Drain trailing transport events (retransmit / unreachable timers are
+  // all bounded, so the queue empties) so every message reaches a terminal
+  // state before the ledger is judged.
+  cl.engine().run();
+
+  ScenarioResult res;
+  res.name = spec.name;
+  res.seed = spec.seed;
+  res.counts = ledger.counts();
+  res.violations = ledger.violations();
+
+  // Liveness: no endpoint may end the campaign with a wedged send queue
+  // (every descriptor must complete or be returned-and-swept). Credits and
+  // undrained receive entries are judged by the ledger instead: a dead
+  // server legitimately strands client credits.
+  for (const auto& ep : parked) {
+    if (!ep->state().send_queue.empty()) {
+      res.violations.push_back(
+          "wedged send queue: node " + std::to_string(ep->state().node) +
+          " ep " + std::to_string(ep->state().id) + " holds " +
+          std::to_string(ep->state().send_queue.size()) + " descriptors");
+    }
+  }
+
+  res.requests_issued = sh.issued;
+  res.replies_received = sh.replies;
+  res.returns_seen = sh.returns;
+  res.reissued = sh.reissued;
+  res.unfinished = sh.unfinished;
+
+  for (int nidx = 0; nidx < cl.size(); ++nidx) {
+    const lanai::NicStats& s = cl.host(nidx).nic().stats();
+    res.retransmissions += s.retransmissions;
+    res.timeouts += s.timeouts;
+    res.channel_unbinds += s.channel_unbinds;
+    res.duplicates_suppressed += s.duplicates_suppressed;
+    res.returned_to_sender += s.returned_to_sender;
+  }
+  res.dropped_down = cl.fabric().total_dropped_down();
+  res.dropped_fault = cl.fabric().total_dropped_fault();
+
+  res.last_fault_at = campaign.last_action_time();
+  res.resolved_at = ledger.last_terminal_time();
+  res.recovery_time = std::max<sim::Duration>(
+      0, ledger.last_terminal_time() - campaign.last_action_time());
+  res.total_time = run_time;
+  res.campaign_log = campaign.log();
+  {
+    std::ostringstream os;
+    cl.fabric().dump_link_stats(os);
+    res.link_stats = os.str();
+  }
+  return res;
+}
+
+// ------------------------------------------------- standard scenarios
+
+std::vector<std::string> standard_scenario_names() {
+  return {"link_flap", "burst_loss",  "nic_reboot",
+          "host_failover", "trunk_flap", "chaos"};
+}
+
+ScenarioSpec standard_scenario(const std::string& name, std::uint64_t seed) {
+  ScenarioSpec s;
+  s.name = name;
+  s.seed = seed;
+
+  if (name == "link_flap") {
+    // The server's cable bounces twice mid-run; stop-and-wait channels
+    // must retransmit through it with no application help.
+    s.requests_per_client = 30;
+    s.plan = [](cluster::Cluster&, sim::Rng&) {
+      return FaultPlan{}
+          .host_flap(2 * sim::ms, 1, 1500 * sim::us)
+          .host_flap(6 * sim::ms, 1, 1 * sim::ms);
+    };
+    return s;
+  }
+
+  if (name == "burst_loss") {
+    // Correlated Gilbert–Elliott losses over most of the run: the backoff
+    // and duplicate-suppression machinery under sustained stress.
+    s.requests_per_client = 40;
+    s.plan = [](cluster::Cluster&, sim::Rng&) {
+      myrinet::GilbertElliottParams ge;
+      ge.enabled = true;
+      ge.p_good_to_bad = 0.01;
+      ge.p_bad_to_good = 0.08;
+      ge.loss_bad = 0.8;
+      return FaultPlan{}.burst_episode(500 * sim::us, 12 * sim::ms, ge);
+    };
+    return s;
+  }
+
+  if (name == "nic_reboot") {
+    // NIC SRAM state (channels, epochs) is lost mid-bulk-transfer on both
+    // a receiver and a sender; host-resident endpoint state must carry the
+    // reassembly and dedup windows across, and epochs must resync.
+    s.requests_per_client = 8;
+    s.bulk_bytes = 16384;
+    s.plan = [](cluster::Cluster&, sim::Rng&) {
+      return FaultPlan{}
+          .nic_reboot(1200 * sim::us, 1)   // server NIC (receiver side)
+          .nic_reboot(2500 * sim::us, 1)   // and again, for stale epochs
+          .nic_reboot(4 * sim::ms, 3);     // a client NIC (sender side)
+    };
+    return s;
+  }
+
+  if (name == "host_failover") {
+    // The fault_tolerance example as a checked scenario: primary dies for
+    // good; every request must come back undeliverable (or have been
+    // answered) and the client re-issues to the replica.
+    s.requests_per_client = 20;
+    s.failover = true;
+    s.plan = [](cluster::Cluster&, sim::Rng&) {
+      return FaultPlan{}.host_link(2 * sim::ms, 1, false);
+    };
+    return s;
+  }
+
+  if (name == "trunk_flap") {
+    // Fat-tree: one leaf<->spine trunk fails; multi-path logical channels
+    // must unbind off the dead route and fail over to the other spine.
+    s.fat_tree = true;
+    s.requests_per_client = 30;
+    s.tweak = [](cluster::ClusterConfig& cfg) {
+      // Unbind well before the unreachable timeout so route failover (not
+      // return-to-sender) is what resolves the messages.
+      cfg.nic.retransmit_unbind_limit = 3;
+      cfg.nic.max_backoff_exponent = 2;
+    };
+    s.plan = [](cluster::Cluster&, sim::Rng&) {
+      return FaultPlan{}.trunk_flap(1500 * sim::us, 0, 0, 4 * sim::ms);
+    };
+    return s;
+  }
+
+  if (name == "chaos") {
+    // Randomized self-healing timeline drawn from the engine-seeded Rng.
+    s.requests_per_client = 30;
+    s.client_deadline = 80 * sim::ms;
+    s.plan = [](cluster::Cluster& cl, sim::Rng& rng) {
+      ChaosOptions opt;
+      opt.first_node = 1;  // never fault the controller's node
+      opt.nodes = cl.size();
+      opt.events = 8;
+      opt.end = 20 * sim::ms;
+      return FaultPlan::chaos_mode(rng, opt);
+    };
+    return s;
+  }
+
+  throw std::invalid_argument("unknown scenario: " + name);
+}
+
+// ------------------------------------------------- report formatting
+
+std::string result_table_header() {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-14s %5s %5s %5s %5s %4s %6s %6s %7s %6s %9s",
+                "scenario", "seed", "sent", "dlvd", "retd", "dup", "rexmt",
+                "unbnd", "dropped", "viol", "recover");
+  return buf;
+}
+
+std::string result_table_row(const ScenarioResult& r) {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%-14s %5llu %5llu %5llu %5llu %4llu %6llu %6llu %7llu %6zu %7.2fms",
+      r.name.c_str(), static_cast<unsigned long long>(r.seed),
+      static_cast<unsigned long long>(r.counts.injected),
+      static_cast<unsigned long long>(r.counts.delivered),
+      static_cast<unsigned long long>(r.counts.returned),
+      static_cast<unsigned long long>(r.counts.duplicate_deliveries),
+      static_cast<unsigned long long>(r.retransmissions),
+      static_cast<unsigned long long>(r.channel_unbinds),
+      static_cast<unsigned long long>(r.dropped_down + r.dropped_fault),
+      r.violations.size(), sim::to_msec(r.recovery_time));
+  return buf;
+}
+
+}  // namespace vnet::chaos

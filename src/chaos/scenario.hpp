@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "chaos/campaign.hpp"
+#include "chaos/fault_plan.hpp"
+#include "chaos/ledger.hpp"
+#include "cluster/cluster.hpp"
+
+namespace vnet::chaos {
+
+/// A chaos scenario: a client/server request-reply workload plus a fault
+/// timeline, run to quiescence and checked against the delivery ledger.
+///
+/// Node layout: 0 = controller (no traffic), 1 = server, 2 = replica,
+/// 3..3+clients = client nodes. Clients send `requests_per_client` echo
+/// requests to the server; with `failover` they re-issue returned (and, at
+/// the deadline, still-unacknowledged) requests to the replica — the
+/// fault_tolerance recipe of §3.2.
+struct ScenarioSpec {
+  std::string name;
+  std::uint64_t seed = 1;
+  int clients = 2;
+  int requests_per_client = 30;
+  std::uint32_t bulk_bytes = 0;  ///< per-request payload (0 = short message)
+  /// Gap between successive sends: spreads the workload across the fault
+  /// timeline so faults actually hit in-flight traffic.
+  sim::Duration send_spacing = 200 * sim::us;
+  bool failover = false;
+  /// Use a 2-hosts-per-leaf / 2-spine fat-tree instead of a crossbar (for
+  /// trunk faults); the server then sits on a different leaf from clients.
+  bool fat_tree = false;
+  /// Optional NicConfig/ClusterConfig adjustments before the cluster is
+  /// built (e.g. a lower unbind limit).
+  std::function<void(cluster::ClusterConfig&)> tweak;
+  /// Fault timeline; receives the built cluster (for sizes) and a seeded
+  /// Rng split off the engine (for chaos mode).
+  std::function<FaultPlan(cluster::Cluster&, sim::Rng&)> plan;
+  sim::Duration client_deadline = 60 * sim::ms;
+  /// How long the controller waits after clients finish for the ledger to
+  /// fully resolve before declaring the campaign over.
+  sim::Duration resolve_grace = 100 * sim::ms;
+};
+
+struct ScenarioResult {
+  std::string name;
+  std::uint64_t seed = 0;
+
+  DeliveryLedger::Counts counts;
+  /// Ledger violations plus end-of-run liveness violations (wedged send
+  /// queues). Empty == the campaign upheld every invariant.
+  std::vector<std::string> violations;
+
+  // Application-level outcome.
+  std::uint64_t requests_issued = 0;
+  std::uint64_t replies_received = 0;
+  std::uint64_t returns_seen = 0;
+  std::uint64_t reissued = 0;
+  std::uint64_t unfinished = 0;  ///< client requests with no terminal state
+
+  // Transport work, summed over all NICs.
+  std::uint64_t retransmissions = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t channel_unbinds = 0;
+  std::uint64_t duplicates_suppressed = 0;
+  std::uint64_t returned_to_sender = 0;
+
+  // Fabric losses.
+  std::uint64_t dropped_down = 0;
+  std::uint64_t dropped_fault = 0;
+
+  sim::Time last_fault_at = 0;
+  sim::Time resolved_at = 0;
+  /// Quiescence (last message reaching a terminal state) minus the last
+  /// fault action: how long the transport needed to dig itself out.
+  sim::Duration recovery_time = 0;
+  sim::Duration total_time = 0;
+
+  std::vector<std::string> campaign_log;
+  std::string link_stats;  ///< per-link drop table (campaign report)
+};
+
+/// Builds, runs and checks one scenario. Deterministic for a fixed spec.
+ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// The standard chaos matrix: link_flap, burst_loss, nic_reboot,
+/// host_failover, trunk_flap, chaos.
+std::vector<std::string> standard_scenario_names();
+ScenarioSpec standard_scenario(const std::string& name, std::uint64_t seed);
+
+/// One formatted table row / header for the bench report.
+std::string result_table_header();
+std::string result_table_row(const ScenarioResult& r);
+
+}  // namespace vnet::chaos

@@ -3,6 +3,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "lanai/frame.hpp"
@@ -73,8 +77,45 @@ struct RecvEntry {
   ReplyToken reply_to;
   NodeId src_node = myrinet::kInvalidNode;
   EpId src_ep = kInvalidEp;
+  /// Sender-side message id (unique per source endpoint); together with
+  /// (src_node, src_ep) this names the message end to end, which is what
+  /// the chaos delivery ledger keys on.
+  std::uint64_t msg_id = 0;
   sim::Time arrived_at = 0;
 };
+
+/// Key identifying a remote source endpoint (node, ep) in dedup windows.
+inline std::uint64_t source_key(NodeId node, EpId ep) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(node)) << 32) |
+         static_cast<std::uint32_t>(ep);
+}
+
+/// Recently delivered message ids from one source endpoint, for
+/// exactly-once delivery across channel rebinds and NIC reboots.
+struct DeliveredWindow {
+  static constexpr std::size_t kCapacity = 128;
+  std::deque<std::uint64_t> order;
+  std::unordered_set<std::uint64_t> set;
+  void remember(std::uint64_t id) {
+    if (!set.insert(id).second) return;
+    order.push_back(id);
+    if (order.size() > kCapacity) {
+      set.erase(order.front());
+      order.pop_front();
+    }
+  }
+  bool contains(std::uint64_t id) const { return set.count(id) != 0; }
+};
+
+/// In-progress multi-fragment message at the receiver.
+struct Reassembly {
+  RecvEntry entry;
+  std::unordered_set<std::uint32_t> frags;
+  bool is_request = true;
+};
+
+/// (src_node, src_ep, msg_id) key for the reassembly table.
+using ReassemblyKey = std::tuple<NodeId, EpId, std::uint64_t>;
 
 /// The hardware-visible endpoint: message queues and associated state that
 /// reside beneath the programming interface (§3). This exact object is what
@@ -103,6 +144,15 @@ struct EndpointState {
   // (NIC-owned; counted against the queue depths).
   std::uint32_t nic_reserved_requests = 0;
   std::uint32_t nic_reserved_replies = 0;
+
+  // Message-level receive state. This lives with the endpoint — it pages to
+  // host memory with it and survives a NIC reboot — unlike the channel
+  // sequencing state, which is NIC-SRAM-volatile and rebuilt by the
+  // self-synchronizing re-initialization of §5.1. Keeping the dedup window
+  // here is what preserves exactly-once delivery across a receiver reboot:
+  // a retransmission whose ack was lost pre-reboot is still recognized.
+  std::unordered_map<std::uint64_t, DeliveredWindow> delivered_from;
+  std::map<ReassemblyKey, Reassembly> reassembly;
 
   // --- statistics ---
   std::uint64_t msgs_sent = 0;        ///< fully acknowledged

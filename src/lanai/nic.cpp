@@ -7,11 +7,8 @@ namespace vnet::lanai {
 
 namespace {
 
-/// Key for per-source-endpoint delivery windows.
-std::uint64_t src_key(NodeId node, EpId ep) {
-  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(node)) << 32) |
-         ep;
-}
+/// Key for per-source-endpoint delivery windows (see endpoint_state.hpp).
+std::uint64_t src_key(NodeId node, EpId ep) { return source_key(node, ep); }
 
 }  // namespace
 
@@ -31,17 +28,6 @@ const char* to_string(NackReason r) {
       return "stale-epoch";
   }
   return "?";
-}
-
-void Nic::DeliveredWindow::remember(std::uint64_t id) {
-  static constexpr std::size_t kCapacity = 128;
-  if (set.insert(id).second) {
-    order.push_back(id);
-    if (order.size() > kCapacity) {
-      set.erase(order.front());
-      order.pop_front();
-    }
-  }
 }
 
 Nic::Nic(sim::Engine& engine, myrinet::Fabric& fabric, NodeId node,
@@ -87,16 +73,32 @@ int Nic::free_frames() const {
 
 void Nic::reboot() {
   // Transport state is lost: channels restart in a new epoch; the receive
-  // side re-synchronizes on the first frame it sees (§5.1).
+  // side re-synchronizes on the first frame it sees (§5.1). Message-level
+  // receive state (dedup windows, reassembly) lives in the endpoints, which
+  // are host-memory backed, and survives.
   std::uint32_t max_epoch = epoch_base_;
   for (auto& [peer, chans] : channels_) {
-    for (auto& ch : chans) max_epoch = std::max(max_epoch, ch.epoch);
+    for (auto& ch : chans) {
+      max_epoch = std::max(max_epoch, ch.epoch);
+      // A fragment in flight on a dying channel would otherwise be stranded
+      // in kInFlight forever (no channel remembers it); hand it back to the
+      // send scheduler.
+      if (ch.busy && ch.src_ep != nullptr) {
+        if (SendDescriptor* d = find_descriptor(*ch.src_ep, ch.pending.msg_id)) {
+          const std::uint32_t idx = ch.pending.frag_index;
+          if (idx < d->frag_state.size() &&
+              d->frag_state[idx] == SendDescriptor::FragState::kInFlight) {
+            d->frag_state[idx] = SendDescriptor::FragState::kUnsent;
+          }
+        }
+      }
+    }
   }
   channels_.clear();
   recv_channels_.clear();
-  reassembly_.clear();
-  delivered_.clear();
+  channel_cursor_.clear();
   due_retransmits_.clear();
+  ++channel_table_gen_;
   epoch_base_ = max_epoch + 1;
   work_.notify_all();
 }
@@ -240,6 +242,10 @@ sim::Task<bool> Nic::start_fragment(EndpointState& ep, SendDescriptor& desc) {
 
   const bool gam = !config_.reliable_transport;
   ChannelState* ch = nullptr;
+  // A reboot() during any of the suspensions below frees the channel table
+  // `ch` points into; the generation check invalidates it (the fragment is
+  // left/reset kUnsent, so a post-reboot service pass resends it).
+  const std::uint64_t table_gen = channel_table_gen_;
   if (!gam) {
     ch = find_free_channel(dst_node);
     if (ch == nullptr) co_return false;  // all channels busy: try later
@@ -265,6 +271,9 @@ sim::Task<bool> Nic::start_fragment(EndpointState& ep, SendDescriptor& desc) {
   }
 
   co_await charge(config_.instr_build_packet);
+  if (!gam && table_gen != channel_table_gen_) {
+    co_return true;  // rebooted while staging: nothing bound yet
+  }
 
   Frame f;
   f.kind = FrameKind::kData;
@@ -327,6 +336,9 @@ sim::Task<bool> Nic::start_fragment(EndpointState& ep, SendDescriptor& desc) {
 
   co_await inject(f);
   ++stats_.data_sent;
+  if (table_gen != channel_table_gen_) {
+    co_return true;  // rebooted during injection: channel table is gone
+  }
   arm_timer(*ch, backoff_for(*ch, 0));
   co_return true;
 }
@@ -395,6 +407,7 @@ sim::Task<bool> Nic::deliver_local(EndpointState& src, SendDescriptor& desc,
                        : ReplyToken{};
   entry.src_node = node_;
   entry.src_ep = src.id;
+  entry.msg_id = desc.msg_id;
   entry.arrived_at = engine_->now();
   queue.push_back(std::move(entry));
   ++dst.msgs_delivered;
@@ -497,9 +510,11 @@ sim::Task<> Nic::handle_data(Frame f) {
     co_return;
   }
 
-  // Exactly-once across channel rebinds: suppress message-level duplicates.
+  // Exactly-once across channel rebinds and receiver reboots: suppress
+  // message-level duplicates. The window lives in the endpoint (host
+  // memory), so it survives the loss of NIC SRAM state.
   if (!gam) {
-    auto& window = delivered_[src_key(f.src_node, f.src_ep)];
+    auto& window = ep.delivered_from[src_key(f.src_node, f.src_ep)];
     if (window.contains(f.msg_id)) {
       ++stats_.duplicates_suppressed;
       co_await send_ack(f);
@@ -515,8 +530,8 @@ sim::Task<> Nic::handle_data(Frame f) {
                         : config_.recv_reply_depth);
 
   const auto rkey = std::make_tuple(f.src_node, f.src_ep, f.msg_id);
-  auto rit = reassembly_.find(rkey);
-  const bool first_frag = (rit == reassembly_.end());
+  auto rit = ep.reassembly.find(rkey);
+  const bool first_frag = (rit == ep.reassembly.end());
   // The LANai has only a few packet buffers between the wire and the
   // endpoint queues; frames already received but not yet demultiplexed
   // count against the queue up to that buffering, otherwise overruns
@@ -534,11 +549,18 @@ sim::Task<> Nic::handle_data(Frame f) {
   }
 
   co_await accept_fragment(ep, f, queue, reserved);
-  if (rcs != nullptr) {
-    rcs->have_seq = true;
-    rcs->last_seq = f.seq;
+  if (!gam) {
+    // Re-resolve the receive channel: a reboot during the SBUS staging
+    // above destroys the table `rcs` pointed into. A fresh entry (epoch 0)
+    // simply adopts the sender's epoch, as any first frame would.
+    RecvChannelState& rc = recv_channels_[peer_key(f.src_node, f.channel)];
+    if (f.epoch >= rc.epoch) {
+      rc.epoch = f.epoch;
+      rc.have_seq = true;
+      rc.last_seq = f.seq;
+    }
+    co_await send_ack(f);
   }
-  if (!gam) co_await send_ack(f);
 }
 
 sim::Task<> Nic::accept_fragment(EndpointState& ep, const Frame& f,
@@ -553,7 +575,7 @@ sim::Task<> Nic::accept_fragment(EndpointState& ep, const Frame& f,
     queue.push_back(std::move(entry));
     ++ep.msgs_delivered;
     if (config_.reliable_transport) {
-      delivered_[src_key(f.src_node, f.src_ep)].remember(f.msg_id);
+      ep.delivered_from[src_key(f.src_node, f.src_ep)].remember(f.msg_id);
     }
     if (ep.on_arrival) ep.on_arrival();
   };
@@ -566,6 +588,7 @@ sim::Task<> Nic::accept_fragment(EndpointState& ep, const Frame& f,
                          : ReplyToken{};
     entry.src_node = f.src_node;
     entry.src_ep = f.src_ep;
+    entry.msg_id = f.msg_id;
     entry.arrived_at = engine_->now();
     return entry;
   };
@@ -576,15 +599,14 @@ sim::Task<> Nic::accept_fragment(EndpointState& ep, const Frame& f,
   }
 
   const auto rkey = std::make_tuple(f.src_node, f.src_ep, f.msg_id);
-  auto rit = reassembly_.find(rkey);
-  if (rit == reassembly_.end()) {
+  auto rit = ep.reassembly.find(rkey);
+  if (rit == ep.reassembly.end()) {
     Reassembly r;
     r.entry = make_entry();
-    r.dst_ep = ep.id;
     r.is_request = f.body.is_request;
     r.frags.insert(f.frag_index);
     ++reserved;  // hold a queue slot for the completed message
-    reassembly_.emplace(rkey, std::move(r));
+    ep.reassembly.emplace(rkey, std::move(r));
     co_return;
   }
   Reassembly& r = rit->second;
@@ -592,7 +614,7 @@ sim::Task<> Nic::accept_fragment(EndpointState& ep, const Frame& f,
   if (r.frags.size() == f.frag_count) {
     RecvEntry entry = std::move(r.entry);
     entry.arrived_at = engine_->now();
-    reassembly_.erase(rit);
+    ep.reassembly.erase(rit);
     if (reserved > 0) --reserved;
     deliver(std::move(entry));
   }
@@ -744,8 +766,18 @@ void Nic::complete_fragment_ack(ChannelState& ch, const Frame& ack) {
 // ---------------------------------------------------------- retransmission
 
 void Nic::arm_timer(ChannelState& ch, sim::Duration timeout) {
+  // Capture the channel by key, not by reference: reboot() destroys the
+  // channel table, and a timer closure holding a reference into the old
+  // vectors would fire on freed memory.
+  const NodeId peer = ch.peer;
+  const std::uint16_t index = ch.index;
   const std::uint64_t gen = ch.timer_gen;
-  engine_->after(timeout, [this, &ch, gen] {
+  const std::uint64_t table_gen = channel_table_gen_;
+  engine_->after(timeout, [this, peer, index, gen, table_gen] {
+    if (table_gen != channel_table_gen_) return;  // armed before a reboot
+    auto it = channels_.find(peer);
+    if (it == channels_.end() || index >= it->second.size()) return;
+    ChannelState& ch = it->second[index];
     if (ch.busy && ch.timer_gen == gen) {
       due_retransmits_.push_back(&ch);
       work_.notify_all();
@@ -755,7 +787,11 @@ void Nic::arm_timer(ChannelState& ch, sim::Duration timeout) {
 
 sim::Task<bool> Nic::handle_retransmit(ChannelState* ch) {
   if (!ch->busy) co_return false;  // acked while queued: stale
+  // As in start_fragment: `ch` dies if reboot() runs while this coroutine
+  // is suspended, so re-validate after every suspension.
+  const std::uint64_t table_gen = channel_table_gen_;
   co_await charge(config_.instr_timer_scan);
+  if (table_gen != channel_table_gen_) co_return true;
   EndpointState& ep = *ch->src_ep;
   SendDescriptor* desc = find_descriptor(ep, ch->pending.msg_id);
   if (desc == nullptr) {
@@ -788,12 +824,14 @@ sim::Task<bool> Nic::handle_retransmit(ChannelState* ch) {
   }
 
   co_await charge(config_.instr_build_packet);
+  if (table_gen != channel_table_gen_) co_return true;
   ch->pending.timestamp = nic_timestamp();
   ch->timer_gen++;
   ch->sent_at = engine_->now();
   ch->was_retransmitted = true;  // Karn: no RTT sample from this exchange
   ++stats_.retransmissions;
   co_await inject(ch->pending);
+  if (table_gen != channel_table_gen_) co_return true;
   arm_timer(*ch, backoff_for(*ch, ch->consecutive_retries));
   co_return true;
 }
@@ -942,14 +980,8 @@ sim::Task<bool> Nic::process_unloads() {
     if (op.kind == DriverOp::Kind::kDestroy) {
       directory_.erase(ep.id);
       resident_requested_.erase(ep.id);
-      // Purge receiver-side reassembly state destined for this endpoint.
-      for (auto it = reassembly_.begin(); it != reassembly_.end();) {
-        if (it->second.dst_ep == ep.id) {
-          it = reassembly_.erase(it);
-        } else {
-          ++it;
-        }
-      }
+      // Receiver-side reassembly state lives in the endpoint itself, so it
+      // dies with it; nothing NIC-side to purge.
     }
     draining_.erase(ep.id);
     if (op.done) op.done->open();
@@ -973,8 +1005,17 @@ void Nic::request_make_resident(EpId ep) {
 
 Nic::ChannelState* Nic::find_free_channel(NodeId peer) {
   auto& chans = channels_to(peer);
-  for (auto& ch : chans) {
-    if (!ch.busy) return &ch;
+  // Rotate through the channels instead of always reusing the lowest free
+  // index: channels are statically bound to routes, so after a channel
+  // unbind (dead spine, §5.1) the rebind must land on a *different*
+  // channel/route or the message would retry into the same black hole.
+  std::size_t& cursor = channel_cursor_[peer];
+  for (std::size_t i = 0; i < chans.size(); ++i) {
+    ChannelState& ch = chans[(cursor + i) % chans.size()];
+    if (!ch.busy) {
+      cursor = (static_cast<std::size_t>(ch.index) + 1) % chans.size();
+      return &ch;
+    }
   }
   return nullptr;
 }

@@ -162,10 +162,12 @@ class Nic {
                : 0;
   }
 
-  /// Simulates a NIC reboot: all channel sequencing state is lost and
-  /// epochs advance, exercising the self-synchronizing re-initialization
-  /// of §5.1. Endpoint bindings survive (they live in battery of the
-  /// driver protocol, not the channel layer).
+  /// Simulates a NIC reboot: all channel sequencing state (NIC SRAM) is
+  /// lost and epochs advance, exercising the self-synchronizing
+  /// re-initialization of §5.1. Endpoint bindings and message-level receive
+  /// state (dedup windows, reassembly) survive — they belong to the
+  /// endpoints, which live in host memory. In-flight fragments on the lost
+  /// channels are marked unsent so the rebuilt channels retransmit them.
   void reboot();
 
  private:
@@ -212,23 +214,6 @@ class Nic {
     bool have_seq = false;
     std::uint8_t last_seq = 0;
     std::uint32_t epoch = 0;
-  };
-
-  /// In-progress multi-fragment message at the receiver.
-  struct Reassembly {
-    RecvEntry entry;
-    std::unordered_set<std::uint32_t> frags;
-    EpId dst_ep = kInvalidEp;
-    bool is_request = true;
-  };
-
-  /// Recently delivered message ids per source endpoint, for exactly-once
-  /// delivery across channel rebinds.
-  struct DeliveredWindow {
-    std::deque<std::uint64_t> order;
-    std::unordered_set<std::uint64_t> set;
-    void remember(std::uint64_t id);
-    bool contains(std::uint64_t id) const { return set.count(id) != 0; }
   };
 
   struct FrameSlot {
@@ -316,11 +301,16 @@ class Nic {
 
   std::unordered_map<NodeId, std::vector<ChannelState>> channels_;
   std::unordered_map<PeerKey, RecvChannelState> recv_channels_;
+  // Per-peer rotation cursor for channel allocation, so a message unbound
+  // from a dead route fails over to a different channel (and, on a
+  // fat-tree, a different spine) when it rebinds.
+  std::unordered_map<NodeId, std::size_t> channel_cursor_;
+  // Bumped by reboot(); retransmit timers from before a reboot carry the
+  // old value and disarm themselves instead of touching rebuilt channels.
+  std::uint64_t channel_table_gen_ = 0;
   std::unordered_map<NodeId, RttEstimator> rtt_;
   std::unordered_map<NodeId, std::vector<Frame::PiggyAck>> pending_acks_;
   std::unordered_set<NodeId> piggy_flush_scheduled_;
-  std::map<std::tuple<NodeId, EpId, std::uint64_t>, Reassembly> reassembly_;
-  std::unordered_map<PeerKey, DeliveredWindow> delivered_;
 
   std::uint64_t lamport_ = 0;
   std::uint32_t epoch_base_ = 1;

@@ -2,26 +2,45 @@
 
 #include <algorithm>
 #include <cassert>
+#include <iomanip>
+#include <ostream>
 #include <stdexcept>
 
 namespace vnet::myrinet {
 
-Channel* Fabric::new_channel() {
+Channel* Fabric::new_channel(std::string label) {
   channels_.push_back(std::make_unique<Channel>(*engine_, params_.link));
+  channel_labels_.push_back(std::move(label));
   Channel* c = channels_.back().get();
   install_fault_filter(c);
   return c;
 }
 
 void Fabric::install_fault_filter(Channel* c) {
-  c->fault_filter = [this](Packet& p) {
-    if (params_.drop_probability > 0.0 &&
-        fault_rng_.chance(params_.drop_probability)) {
+  burst_states_.emplace_back();
+  BurstState* bs = &burst_states_.back();
+  c->fault_filter = [this, bs](Packet& p) {
+    const FaultParams& f = params_.faults;
+    if (f.burst.enabled) {
+      // Advance the two-state chain once per wire crossing, then apply the
+      // new state's loss rate.
+      if (bs->bad) {
+        if (fault_rng_.chance(f.burst.p_bad_to_good)) bs->bad = false;
+      } else {
+        if (fault_rng_.chance(f.burst.p_good_to_bad)) bs->bad = true;
+      }
+      const double loss = bs->bad ? f.burst.loss_bad : f.burst.loss_good;
+      if (loss > 0.0 && fault_rng_.chance(loss)) {
+        ++injected_drops_;
+        return true;
+      }
+    }
+    if (f.drop_probability > 0.0 && fault_rng_.chance(f.drop_probability)) {
       ++injected_drops_;
       return true;
     }
-    if (params_.corrupt_probability > 0.0 &&
-        fault_rng_.chance(params_.corrupt_probability)) {
+    if (f.corrupt_probability > 0.0 &&
+        fault_rng_.chance(f.corrupt_probability)) {
       ++injected_corruptions_;
       p.corrupt = true;
     }
@@ -42,8 +61,9 @@ std::unique_ptr<Fabric> Fabric::crossbar(sim::Engine& engine, int hosts,
   for (NodeId h = 0; h < hosts; ++h) {
     fabric->stations_.push_back(std::make_unique<Station>(engine, h));
     Station& st = *fabric->stations_.back();
-    Channel* up = fabric->new_channel();    // host -> switch
-    Channel* down = fabric->new_channel();  // switch -> host
+    const std::string hs = std::to_string(h);
+    Channel* up = fabric->new_channel("h" + hs + "->sw");
+    Channel* down = fabric->new_channel("sw->h" + hs);
     st.attach_tx(up);
     sw.attach_rx(h, up);
     sw.attach_tx(h, down);
@@ -89,8 +109,10 @@ std::unique_ptr<Fabric> Fabric::fat_tree(sim::Engine& engine, int hosts,
     Station& st = *fabric->stations_.back();
     const int l = h / hosts_per_leaf;
     const int port = h % hosts_per_leaf;
-    Channel* up = fabric->new_channel();
-    Channel* down = fabric->new_channel();
+    const std::string hs = std::to_string(h);
+    const std::string ls = std::to_string(l);
+    Channel* up = fabric->new_channel("h" + hs + "->leaf" + ls);
+    Channel* down = fabric->new_channel("leaf" + ls + "->h" + hs);
     st.attach_tx(up);
     leaf(l).attach_rx(port, up);
     leaf(l).attach_tx(port, down);
@@ -100,12 +122,15 @@ std::unique_ptr<Fabric> Fabric::fat_tree(sim::Engine& engine, int hosts,
 
   for (int l = 0; l < leaves; ++l) {
     for (int s = 0; s < spines; ++s) {
-      Channel* up = fabric->new_channel();    // leaf -> spine
-      Channel* down = fabric->new_channel();  // spine -> leaf
+      const std::string ls = std::to_string(l);
+      const std::string ss = std::to_string(s);
+      Channel* up = fabric->new_channel("leaf" + ls + "->spine" + ss);
+      Channel* down = fabric->new_channel("spine" + ss + "->leaf" + ls);
       leaf(l).attach_tx(hosts_per_leaf + s, up);
       spine(s).attach_rx(l, up);
       spine(s).attach_tx(l, down);
       leaf(l).attach_rx(hosts_per_leaf + s, down);
+      fabric->trunks_.push_back({l, s, up, down});
     }
   }
 
@@ -159,6 +184,53 @@ void Fabric::set_host_link(NodeId id, bool up) {
   auto& hl = host_links_[static_cast<std::size_t>(id)];
   hl.to_switch->set_up(up);
   hl.from_switch->set_up(up);
+}
+
+void Fabric::set_trunk_link(int leaf, int spine, bool up) {
+  for (auto& t : trunks_) {
+    if (t.leaf == leaf && t.spine == spine) {
+      t.up->set_up(up);
+      t.down->set_up(up);
+      return;
+    }
+  }
+}
+
+std::vector<LinkStats> Fabric::link_stats(bool active_only) const {
+  std::vector<LinkStats> out;
+  out.reserve(channels_.size());
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    const Channel& c = *channels_[i];
+    if (active_only && c.packets_sent() == 0 && c.packets_dropped() == 0) {
+      continue;
+    }
+    out.push_back({channel_labels_[i], c.packets_sent(), c.bytes_sent(),
+                   c.dropped_down(), c.dropped_fault()});
+  }
+  return out;
+}
+
+void Fabric::dump_link_stats(std::ostream& os, bool active_only) const {
+  os << std::left << std::setw(18) << "link" << std::right << std::setw(10)
+     << "packets" << std::setw(12) << "bytes" << std::setw(10) << "drop/down"
+     << std::setw(11) << "drop/fault" << '\n';
+  for (const auto& s : link_stats(active_only)) {
+    os << std::left << std::setw(18) << s.label << std::right << std::setw(10)
+       << s.packets_sent << std::setw(12) << s.bytes_sent << std::setw(10)
+       << s.dropped_down << std::setw(11) << s.dropped_fault << '\n';
+  }
+}
+
+std::uint64_t Fabric::total_dropped_down() const {
+  std::uint64_t n = 0;
+  for (const auto& c : channels_) n += c->dropped_down();
+  return n;
+}
+
+std::uint64_t Fabric::total_dropped_fault() const {
+  std::uint64_t n = 0;
+  for (const auto& c : channels_) n += c->dropped_fault();
+  return n;
 }
 
 int Fabric::max_queue_watermark() const {

@@ -1,7 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <iosfwd>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "myrinet/link.hpp"
@@ -16,14 +19,49 @@ namespace vnet::myrinet {
 /// A source route: the output port to take at each successive switch.
 using Route = std::vector<std::uint8_t>;
 
-struct FabricParams {
-  LinkParams link;
-  SwitchParams sw;
+/// Two-state Gilbert–Elliott loss process, evaluated per wire crossing and
+/// per link direction. Each crossing first moves the link's state machine
+/// (good <-> bad), then drops the packet with the state's loss rate.
+/// Correlated loss bursts are what actually stress the retransmission /
+/// backoff machinery — uniform Bernoulli loss rarely hits the same logical
+/// channel twice in a row.
+struct GilbertElliottParams {
+  bool enabled = false;
+  /// P(good -> bad) per wire crossing.
+  double p_good_to_bad = 0.0005;
+  /// P(bad -> good) per wire crossing; 1/p is the mean burst length.
+  double p_bad_to_good = 0.1;
+  /// Loss rate while in the good state (usually 0).
+  double loss_good = 0.0;
+  /// Loss rate while in the bad state.
+  double loss_bad = 0.5;
+};
+
+/// Fault injection knobs, applied uniformly across all links (each link
+/// direction keeps its own Gilbert–Elliott state, but shares these rates).
+struct FaultParams {
   /// Probability that any given wire crossing drops / corrupts the packet.
   /// Transmission errors on Myrinet are rare (§3.2) but must be survivable.
   double drop_probability = 0.0;
   double corrupt_probability = 0.0;
+  /// Correlated burst-loss process layered on top of the uniform rates.
+  GilbertElliottParams burst;
   std::uint64_t fault_seed = 0x5eed;
+};
+
+struct FabricParams {
+  LinkParams link;
+  SwitchParams sw;
+  FaultParams faults;
+};
+
+/// Per-link-direction statistics snapshot for the chaos campaign report.
+struct LinkStats {
+  std::string label;
+  std::uint64_t packets_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t dropped_down = 0;
+  std::uint64_t dropped_fault = 0;
 };
 
 /// The interconnect: stations (host attachment points), switches, links,
@@ -68,14 +106,37 @@ class Fabric {
   /// Models node crash / cable pull for the return-to-sender tests.
   void set_host_link(NodeId id, bool up);
 
-  /// Adjusts fault injection rates at runtime.
+  /// Fails or restores one leaf<->spine trunk (both directions). Models a
+  /// switch-port failure: traffic between leaves keeps flowing over the
+  /// remaining spines only because the transport retries over its other
+  /// logical channels / routes. No-op on a crossbar (there are no trunks).
+  void set_trunk_link(int leaf, int spine, bool up);
+  int num_trunks() const { return static_cast<int>(trunks_.size()); }
+
+  /// Adjusts uniform fault injection rates at runtime.
   void set_fault_rates(double drop_p, double corrupt_p) {
-    params_.drop_probability = drop_p;
-    params_.corrupt_probability = corrupt_p;
+    params_.faults.drop_probability = drop_p;
+    params_.faults.corrupt_probability = corrupt_p;
   }
+
+  /// Swaps the burst-loss process parameters at runtime. Per-link state
+  /// machines keep their current state; disabling stops all burst losses.
+  void set_burst_loss(const GilbertElliottParams& burst) {
+    params_.faults.burst = burst;
+  }
+
+  const FaultParams& fault_params() const { return params_.faults; }
 
   std::uint64_t injected_drops() const { return injected_drops_; }
   std::uint64_t injected_corruptions() const { return injected_corruptions_; }
+
+  /// Per-link stats snapshot; with `active_only`, links that never carried
+  /// or dropped a packet are omitted.
+  std::vector<LinkStats> link_stats(bool active_only = true) const;
+  /// Human-readable table of link_stats(), for the campaign report.
+  void dump_link_stats(std::ostream& os, bool active_only = true) const;
+  std::uint64_t total_dropped_down() const;
+  std::uint64_t total_dropped_fault() const;
 
   /// Aggregate congestion indicator across all switches.
   int max_queue_watermark() const;
@@ -86,9 +147,11 @@ class Fabric {
 
  private:
   explicit Fabric(sim::Engine& engine, const FabricParams& params)
-      : engine_(&engine), params_(params), fault_rng_(params.fault_seed) {}
+      : engine_(&engine),
+        params_(params),
+        fault_rng_(params.faults.fault_seed) {}
 
-  Channel* new_channel();
+  Channel* new_channel(std::string label);
   void install_fault_filter(Channel* c);
   void build_route_table();
 
@@ -102,8 +165,16 @@ class Fabric {
   std::vector<std::unique_ptr<Station>> stations_;
   std::vector<std::unique_ptr<Switch>> switches_;
   std::vector<std::unique_ptr<Channel>> channels_;
+  std::vector<std::string> channel_labels_;  // parallel to channels_
   std::vector<Route> flat_empty_;
   std::vector<std::vector<Route>> route_table_;
+
+  // Per-link-direction Gilbert–Elliott state; deque for address stability
+  // (the fault filter closure captures a pointer into it).
+  struct BurstState {
+    bool bad = false;
+  };
+  std::deque<BurstState> burst_states_;
 
   // Host link channels for set_host_link: [host] -> {to_switch, from_switch}.
   struct HostLink {
@@ -111,6 +182,15 @@ class Fabric {
     Channel* from_switch = nullptr;
   };
   std::vector<HostLink> host_links_;
+
+  // Leaf<->spine trunks for set_trunk_link (fat-tree only).
+  struct TrunkLink {
+    int leaf = 0;
+    int spine = 0;
+    Channel* up = nullptr;    // leaf -> spine
+    Channel* down = nullptr;  // spine -> leaf
+  };
+  std::vector<TrunkLink> trunks_;
 
   // Topology description used by compute_routes.
   enum class Topology { kCrossbar, kFatTree };

@@ -73,7 +73,11 @@ class Channel {
           if (on_deliver) on_deliver(std::move(p));
         });
       } else {
-        ++packets_dropped_;
+        if (!up_) {
+          ++dropped_down_;
+        } else {
+          ++dropped_fault_;
+        }
         // A dropped packet never reaches the receiver, so its credit can
         // never be returned from downstream; refund it here.
         ++credits_;
@@ -102,7 +106,12 @@ class Channel {
   int credits() const { return credits_; }
   bool busy() const { return busy_; }
   std::uint64_t packets_sent() const { return packets_sent_; }
-  std::uint64_t packets_dropped() const { return packets_dropped_; }
+  /// Total losses on this link, from both causes.
+  std::uint64_t packets_dropped() const { return dropped_down_ + dropped_fault_; }
+  /// Losses because the link was administratively/physically down.
+  std::uint64_t dropped_down() const { return dropped_down_; }
+  /// Losses injected by the fault filter (Bernoulli or burst model).
+  std::uint64_t dropped_fault() const { return dropped_fault_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   const LinkParams& params() const { return params_; }
 
@@ -113,7 +122,8 @@ class Channel {
   bool busy_ = false;
   bool up_ = true;
   std::uint64_t packets_sent_ = 0;
-  std::uint64_t packets_dropped_ = 0;
+  std::uint64_t dropped_down_ = 0;
+  std::uint64_t dropped_fault_ = 0;
   std::uint64_t bytes_sent_ = 0;
 };
 

@@ -103,7 +103,7 @@ TEST_F(ExtensionTest, PiggybackExactlyOnceUnderLoss) {
   cfg.piggyback_acks = true;
   cfg.retransmit_timeout = 200 * sim::us;
   myrinet::FabricParams fp;
-  fp.drop_probability = 0.15;
+  fp.faults.drop_probability = 0.15;
   build(cfg, fp);
   std::multiset<std::uint64_t> seen0, seen1;
   eps_[0].on_arrival = [&] {
@@ -197,7 +197,7 @@ TEST_F(ExtensionTest, AdaptiveStillRecoversFromRealLoss) {
   cfg.adaptive_timeout = true;
   cfg.retransmit_timeout = 500 * sim::us;
   myrinet::FabricParams fp;
-  fp.drop_probability = 0.2;
+  fp.faults.drop_probability = 0.2;
   build(cfg, fp);
   std::multiset<std::uint64_t> seen;
   eps_[1].on_arrival = [&] {
@@ -219,7 +219,7 @@ TEST_F(ExtensionTest, BothExtensionsComposeUnderLoss) {
   cfg.piggyback_acks = true;
   cfg.retransmit_timeout = 300 * sim::us;
   myrinet::FabricParams fp;
-  fp.drop_probability = 0.1;
+  fp.faults.drop_probability = 0.1;
   build(cfg, fp);
   std::multiset<std::uint64_t> seen0, seen1;
   eps_[0].on_arrival = [&] {

@@ -354,8 +354,8 @@ class NicLossTest : public NicTest,
 
 TEST_P(NicLossTest, ExactlyOnceUnderFaults) {
   myrinet::FabricParams fp;
-  fp.drop_probability = GetParam().drop;
-  fp.corrupt_probability = GetParam().corrupt;
+  fp.faults.drop_probability = GetParam().drop;
+  fp.faults.corrupt_probability = GetParam().corrupt;
   NicConfig cfg;
   cfg.retransmit_timeout = 100 * sim::us;  // speed the test up
   build(2, cfg, fp);
@@ -414,7 +414,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST_F(NicTest, HeavyAckLossSuppressesDuplicates) {
   myrinet::FabricParams fp;
-  fp.drop_probability = 0.35;
+  fp.faults.drop_probability = 0.35;
   NicConfig cfg;
   cfg.retransmit_timeout = 100 * sim::us;
   build(2, cfg, fp);
@@ -669,7 +669,7 @@ TEST_F(NicTest, GamModeDropsOnOverrun) {
 
 TEST_F(NicTest, GamModeLosesMessagesOnLossyNetwork) {
   myrinet::FabricParams fp;
-  fp.drop_probability = 0.2;
+  fp.faults.drop_probability = 0.2;
   NicConfig cfg;
   cfg.reliable_transport = false;
   build(2, cfg, fp);
@@ -695,7 +695,7 @@ TEST_F(NicTest, RunsAreDeterministic) {
   auto run_once = [](std::uint64_t seed) {
     sim::Engine eng(seed);
     myrinet::FabricParams fp;
-    fp.drop_probability = 0.1;
+    fp.faults.drop_probability = 0.1;
     auto fabric = myrinet::Fabric::crossbar(eng, 2, fp);
     NicConfig cfg;
     cfg.retransmit_timeout = 100 * sim::us;

@@ -221,7 +221,7 @@ TEST(Congestion, BackpressureStallsSender) {
 TEST(Faults, DropAllLosesEverything) {
   sim::Engine eng;
   FabricParams params;
-  params.drop_probability = 1.0;
+  params.faults.drop_probability = 1.0;
   auto f = Fabric::crossbar(eng, 2, params);
   Collector sink;
   sink.attach(f->station(1), eng);
@@ -234,7 +234,7 @@ TEST(Faults, DropAllLosesEverything) {
 TEST(Faults, CorruptionFlagsArrivingPackets) {
   sim::Engine eng;
   FabricParams params;
-  params.corrupt_probability = 1.0;
+  params.faults.corrupt_probability = 1.0;
   auto f = Fabric::crossbar(eng, 2, params);
   Collector sink;
   sink.attach(f->station(1), eng);
@@ -248,7 +248,7 @@ TEST(Faults, CorruptionFlagsArrivingPackets) {
 TEST(Faults, PartialDropRateIsApproximatelyHonored) {
   sim::Engine eng;
   FabricParams params;
-  params.drop_probability = 0.25;
+  params.faults.drop_probability = 0.25;
   auto f = Fabric::crossbar(eng, 2, params);
   Collector sink;
   sink.attach(f->station(1), eng);
@@ -263,6 +263,128 @@ TEST(Faults, PartialDropRateIsApproximatelyHonored) {
   eng.run();
   // Two wire crossings per packet; survival ~ 0.75^2 = 56%.
   EXPECT_NEAR(static_cast<double>(sink.packets.size()), 562.0, 80.0);
+}
+
+namespace {
+
+// Sends `count` sequence-tagged packets 0 -> 1 and returns the ids that
+// made it through.
+std::set<std::uint64_t> send_tagged(sim::Engine& eng, Fabric& fab,
+                                    Collector& sink, int count) {
+  eng.spawn([](sim::Engine&, Fabric& f, int n) -> sim::Process {
+    for (int i = 0; i < n; ++i) {
+      while (!f.station(0).can_inject()) {
+        co_await f.station(0).drained().wait();
+      }
+      Packet p = make_packet(f, 0, 1, 64);
+      p.id = static_cast<std::uint64_t>(i);
+      f.station(0).inject(std::move(p));
+    }
+  }(eng, fab, count));
+  eng.run();
+  std::set<std::uint64_t> delivered;
+  for (const Packet& p : sink.packets) delivered.insert(p.id);
+  return delivered;
+}
+
+}  // namespace
+
+TEST(Faults, BurstLossDisabledDropsNothing) {
+  sim::Engine eng;
+  FabricParams params;  // burst.enabled defaults to false
+  params.faults.burst.loss_bad = 1.0;
+  auto f = Fabric::crossbar(eng, 2, params);
+  Collector sink;
+  sink.attach(f->station(1), eng);
+  const auto delivered = send_tagged(eng, *f, sink, 200);
+  EXPECT_EQ(delivered.size(), 200u);
+  EXPECT_EQ(f->injected_drops(), 0u);
+}
+
+TEST(Faults, BurstLossIsCorrelated) {
+  sim::Engine eng;
+  FabricParams params;
+  params.faults.burst.enabled = true;
+  params.faults.burst.p_good_to_bad = 0.02;
+  params.faults.burst.p_bad_to_good = 0.1;  // mean bad dwell ~ 10 crossings
+  params.faults.burst.loss_good = 0.0;
+  params.faults.burst.loss_bad = 1.0;  // drops exactly trace the bad state
+  auto f = Fabric::crossbar(eng, 2, params);
+  Collector sink;
+  sink.attach(f->station(1), eng);
+  const int kCount = 3000;
+  const auto delivered = send_tagged(eng, *f, sink, kCount);
+
+  const std::size_t dropped = kCount - delivered.size();
+  ASSERT_GT(dropped, 50u) << "burst process never entered the bad state";
+  ASSERT_LT(delivered.size(), static_cast<std::size_t>(kCount));
+  ASSERT_GT(delivered.size(), 0u) << "burst process never recovered";
+
+  // Burstiness: drops must arrive in runs. Mean run length of consecutive
+  // dropped ids is ~1/p_bad_to_good per link chain; uniform Bernoulli loss
+  // at the same rate would give runs barely above 1.
+  std::size_t runs = 0;
+  bool in_run = false;
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    const bool lost = delivered.find(i) == delivered.end();
+    if (lost && !in_run) ++runs;
+    in_run = lost;
+  }
+  ASSERT_GT(runs, 0u);
+  const double mean_run =
+      static_cast<double>(dropped) / static_cast<double>(runs);
+  EXPECT_GT(mean_run, 3.0) << "losses are not bursty (mean run "
+                           << mean_run << ")";
+}
+
+TEST(Faults, BurstLossCanBeTurnedOffAtRuntime) {
+  sim::Engine eng;
+  FabricParams params;
+  params.faults.burst.enabled = true;
+  params.faults.burst.p_good_to_bad = 1.0;  // pinned bad
+  params.faults.burst.p_bad_to_good = 0.0;
+  params.faults.burst.loss_bad = 1.0;
+  auto f = Fabric::crossbar(eng, 2, params);
+  Collector sink;
+  sink.attach(f->station(1), eng);
+  for (int i = 0; i < 5; ++i) f->station(0).inject(make_packet(*f, 0, 1, 64));
+  eng.run();
+  EXPECT_TRUE(sink.packets.empty());
+  GilbertElliottParams off;  // enabled = false
+  f->set_burst_loss(off);
+  f->station(0).inject(make_packet(*f, 0, 1, 64));
+  eng.run();
+  EXPECT_EQ(sink.packets.size(), 1u);
+}
+
+TEST(Faults, PerLinkDropAccountingSplitsDownFromFault) {
+  sim::Engine eng;
+  FabricParams params;
+  params.faults.drop_probability = 1.0;
+  auto f = Fabric::crossbar(eng, 2, params);
+  Collector sink;
+  sink.attach(f->station(1), eng);
+  f->station(0).inject(make_packet(*f, 0, 1, 64));
+  eng.run();
+  EXPECT_EQ(f->total_dropped_fault(), 1u);
+  EXPECT_EQ(f->total_dropped_down(), 0u);
+
+  f->set_fault_rates(0.0, 0.0);
+  f->set_host_link(1, false);
+  f->station(0).inject(make_packet(*f, 0, 1, 64));
+  eng.run();
+  EXPECT_EQ(f->total_dropped_down(), 1u);
+  EXPECT_EQ(f->total_dropped_fault(), 1u);
+
+  const auto stats = f->link_stats();
+  std::uint64_t down = 0, fault = 0;
+  for (const auto& s : stats) {
+    EXPECT_FALSE(s.label.empty());
+    down += s.dropped_down;
+    fault += s.dropped_fault;
+  }
+  EXPECT_EQ(down, 1u);
+  EXPECT_EQ(fault, 1u);
 }
 
 TEST(Faults, HostUnplugAndReplug) {

@@ -124,7 +124,7 @@ TEST_P(RetransmitTuning, LossyDeliveryRobustToKnobs) {
   const auto [channels, unbind_limit] = GetParam();
   sim::Engine eng(23);
   myrinet::FabricParams fp;
-  fp.drop_probability = 0.15;
+  fp.faults.drop_probability = 0.15;
   auto fabric = myrinet::Fabric::crossbar(eng, 2, fp);
   lanai::NicConfig cfg;
   cfg.channels_per_peer = channels;

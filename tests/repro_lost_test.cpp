@@ -1,0 +1,94 @@
+// Regression: the bench/repro_lost reply-loss reproducer, promoted to a
+// seed-swept ctest. Three event-driven services share node 0; three clients
+// on distinct nodes issue explicit-reply requests. Every client must get
+// every reply back — zero lost replies, on every seed.
+
+#include <gtest/gtest.h>
+
+#include "am/endpoint.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/config.hpp"
+
+namespace vnet {
+namespace {
+
+struct ReproOutcome {
+  std::uint64_t served[3] = {0, 0, 0};
+  std::uint64_t replies[3] = {0, 0, 0};
+  int expected[3] = {0, 0, 0};
+};
+
+ReproOutcome run_repro(std::uint64_t seed) {
+  auto cfg = cluster::NowConfig(4);
+  cfg.seed = seed;
+  cluster::Cluster cl(cfg);
+
+  ReproOutcome oc;
+  am::Name sname[3];
+  bool stop = false;
+  int done = 0;
+
+  for (int sidx = 0; sidx < 3; ++sidx) {
+    cl.spawn_thread(0, "svc", [&, sidx](host::HostThread& t) -> sim::Task<> {
+      auto ep = co_await am::Endpoint::create(t, 7 + sidx);
+      ep->set_handler(1, [&oc, sidx](am::Endpoint&, const am::Message& m) {
+        ++oc.served[sidx];
+        m.reply(2, {m.arg(0)});
+      });
+      ep->set_event_mask(am::kEventReceive);
+      sname[sidx] = ep->name();
+      while (!stop) {
+        if (co_await ep->wait_for(t, 2 * sim::ms)) {
+          while (co_await ep->poll(t, 16) > 0) {
+          }
+        }
+      }
+      co_await ep->destroy(t);
+    });
+  }
+  for (int cidx = 0; cidx < 3; ++cidx) {
+    cl.spawn_thread(1 + cidx, "cli",
+                    [&, cidx](host::HostThread& t) -> sim::Task<> {
+      auto ep = co_await am::Endpoint::create(t, 90 + cidx);
+      ep->set_handler(2, [&oc, cidx](am::Endpoint&, const am::Message&) {
+        ++oc.replies[cidx];
+      });
+      while (!sname[0].valid() || !sname[1].valid() || !sname[2].valid()) {
+        co_await t.sleep(20 * sim::us);
+      }
+      ep->map(0, sname[cidx]);
+      const int my_total = 120 - cidx * 40;  // 120 / 80 / 40
+      oc.expected[cidx] = my_total;
+      for (int i = 0; i < my_total; ++i) {
+        co_await ep->request(t, 0, 1, static_cast<std::uint64_t>(i));
+      }
+      const sim::Time deadline = t.engine().now() + 300 * sim::ms;
+      while (oc.replies[cidx] < static_cast<std::uint64_t>(my_total) &&
+             t.engine().now() < deadline) {
+        co_await ep->poll(t, 16);
+        co_await t.compute(1000);
+      }
+      co_await ep->destroy(t);
+      if (++done == 3) stop = true;
+    });
+  }
+  cl.run_to_completion();
+  return oc;
+}
+
+TEST(ReproLost, NoRepliesLostAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const ReproOutcome oc = run_repro(seed);
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_EQ(oc.replies[c], static_cast<std::uint64_t>(oc.expected[c]))
+          << "seed " << seed << " client " << c << " lost replies (served="
+          << oc.served[c] << ")";
+      EXPECT_EQ(oc.served[c], static_cast<std::uint64_t>(oc.expected[c]))
+          << "seed " << seed << " service " << c
+          << " saw a duplicate or missing request";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vnet
