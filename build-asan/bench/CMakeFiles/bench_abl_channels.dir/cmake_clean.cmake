@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_channels.dir/bench_abl_channels.cpp.o"
+  "CMakeFiles/bench_abl_channels.dir/bench_abl_channels.cpp.o.d"
+  "bench_abl_channels"
+  "bench_abl_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

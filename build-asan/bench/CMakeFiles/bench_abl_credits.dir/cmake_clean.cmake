@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_credits.dir/bench_abl_credits.cpp.o"
+  "CMakeFiles/bench_abl_credits.dir/bench_abl_credits.cpp.o.d"
+  "bench_abl_credits"
+  "bench_abl_credits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_credits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_extensions.dir/bench_abl_extensions.cpp.o"
+  "CMakeFiles/bench_abl_extensions.dir/bench_abl_extensions.cpp.o.d"
+  "bench_abl_extensions"
+  "bench_abl_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

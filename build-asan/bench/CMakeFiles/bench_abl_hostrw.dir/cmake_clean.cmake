@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_hostrw.dir/bench_abl_hostrw.cpp.o"
+  "CMakeFiles/bench_abl_hostrw.dir/bench_abl_hostrw.cpp.o.d"
+  "bench_abl_hostrw"
+  "bench_abl_hostrw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_hostrw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

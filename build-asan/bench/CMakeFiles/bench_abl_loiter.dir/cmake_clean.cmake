@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_loiter.dir/bench_abl_loiter.cpp.o"
+  "CMakeFiles/bench_abl_loiter.dir/bench_abl_loiter.cpp.o.d"
+  "bench_abl_loiter"
+  "bench_abl_loiter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_loiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_abl_loiter.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_replacement.dir/bench_abl_replacement.cpp.o"
+  "CMakeFiles/bench_abl_replacement.dir/bench_abl_replacement.cpp.o.d"
+  "bench_abl_replacement"
+  "bench_abl_replacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_via.dir/bench_abl_via.cpp.o"
+  "CMakeFiles/bench_abl_via.dir/bench_abl_via.cpp.o.d"
+  "bench_abl_via"
+  "bench_abl_via.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_via.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

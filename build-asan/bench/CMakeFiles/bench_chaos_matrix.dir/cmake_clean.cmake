@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chaos_matrix.dir/bench_chaos_matrix.cpp.o"
+  "CMakeFiles/bench_chaos_matrix.dir/bench_chaos_matrix.cpp.o.d"
+  "bench_chaos_matrix"
+  "bench_chaos_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chaos_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_logp.dir/bench_fig3_logp.cpp.o"
+  "CMakeFiles/bench_fig3_logp.dir/bench_fig3_logp.cpp.o.d"
+  "bench_fig3_logp"
+  "bench_fig3_logp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_logp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

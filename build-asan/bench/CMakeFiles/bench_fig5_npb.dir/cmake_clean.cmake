@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_npb.dir/bench_fig5_npb.cpp.o"
+  "CMakeFiles/bench_fig5_npb.dir/bench_fig5_npb.cpp.o.d"
+  "bench_fig5_npb"
+  "bench_fig5_npb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_bulk.dir/bench_fig7_bulk.cpp.o"
+  "CMakeFiles/bench_fig7_bulk.dir/bench_fig7_bulk.cpp.o.d"
+  "bench_fig7_bulk"
+  "bench_fig7_bulk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_bulk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t62_linpack.dir/bench_t62_linpack.cpp.o"
+  "CMakeFiles/bench_t62_linpack.dir/bench_t62_linpack.cpp.o.d"
+  "bench_t62_linpack"
+  "bench_t62_linpack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t62_linpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

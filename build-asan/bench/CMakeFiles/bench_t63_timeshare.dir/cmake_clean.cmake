@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t63_timeshare.dir/bench_t63_timeshare.cpp.o"
+  "CMakeFiles/bench_t63_timeshare.dir/bench_t63_timeshare.cpp.o.d"
+  "bench_t63_timeshare"
+  "bench_t63_timeshare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t63_timeshare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

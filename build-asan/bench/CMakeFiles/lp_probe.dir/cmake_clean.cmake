@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_probe.dir/lp_probe.cpp.o"
+  "CMakeFiles/lp_probe.dir/lp_probe.cpp.o.d"
+  "lp_probe"
+  "lp_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

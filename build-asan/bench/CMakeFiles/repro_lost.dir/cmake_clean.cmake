@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_lost.dir/repro_lost.cpp.o"
+  "CMakeFiles/repro_lost.dir/repro_lost.cpp.o.d"
+  "repro_lost"
+  "repro_lost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_lost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

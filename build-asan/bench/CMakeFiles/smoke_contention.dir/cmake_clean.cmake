@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoke_contention.dir/smoke_contention.cpp.o"
+  "CMakeFiles/smoke_contention.dir/smoke_contention.cpp.o.d"
+  "smoke_contention"
+  "smoke_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoke_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

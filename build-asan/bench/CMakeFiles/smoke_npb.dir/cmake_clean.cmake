@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoke_npb.dir/smoke_npb.cpp.o"
+  "CMakeFiles/smoke_npb.dir/smoke_npb.cpp.o.d"
+  "smoke_npb"
+  "smoke_npb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoke_npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legacy_socket_app.dir/legacy_socket_app.cpp.o"
+  "CMakeFiles/legacy_socket_app.dir/legacy_socket_app.cpp.o.d"
+  "legacy_socket_app"
+  "legacy_socket_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legacy_socket_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

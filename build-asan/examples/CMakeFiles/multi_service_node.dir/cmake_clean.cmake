@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_service_node.dir/multi_service_node.cpp.o"
+  "CMakeFiles/multi_service_node.dir/multi_service_node.cpp.o.d"
+  "multi_service_node"
+  "multi_service_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_service_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_program.dir/parallel_program.cpp.o"
+  "CMakeFiles/parallel_program.dir/parallel_program.cpp.o.d"
+  "parallel_program"
+  "parallel_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/apps/CMakeFiles/vnet_apps.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/cluster/CMakeFiles/vnet_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/am/CMakeFiles/vnet_am.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sock/CMakeFiles/vnet_sock.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/host/CMakeFiles/vnet_host.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/lanai/CMakeFiles/vnet_lanai.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/myrinet/CMakeFiles/vnet_myrinet.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/vnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

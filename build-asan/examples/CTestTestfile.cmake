@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build-asan/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(fault_tolerance_example "/root/repo/build-asan/examples/fault_tolerance")
+set_tests_properties(fault_tolerance_example PROPERTIES  PASS_REGULAR_EXPRESSION "all 40 requests completed \\([1-9][0-9]* via replica\\); returned=[1-9]" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("myrinet")
+subdirs("lanai")
+subdirs("host")
+subdirs("am")
+subdirs("via")
+subdirs("sock")
+subdirs("cluster")
+subdirs("chaos")
+subdirs("apps")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnet_am.dir/endpoint.cpp.o"
+  "CMakeFiles/vnet_am.dir/endpoint.cpp.o.d"
+  "libvnet_am.a"
+  "libvnet_am.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnet_am.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

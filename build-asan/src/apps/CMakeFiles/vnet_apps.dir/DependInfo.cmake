@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/bandwidth.cpp" "src/apps/CMakeFiles/vnet_apps.dir/bandwidth.cpp.o" "gcc" "src/apps/CMakeFiles/vnet_apps.dir/bandwidth.cpp.o.d"
+  "/root/repo/src/apps/linpack.cpp" "src/apps/CMakeFiles/vnet_apps.dir/linpack.cpp.o" "gcc" "src/apps/CMakeFiles/vnet_apps.dir/linpack.cpp.o.d"
+  "/root/repo/src/apps/logp.cpp" "src/apps/CMakeFiles/vnet_apps.dir/logp.cpp.o" "gcc" "src/apps/CMakeFiles/vnet_apps.dir/logp.cpp.o.d"
+  "/root/repo/src/apps/npb.cpp" "src/apps/CMakeFiles/vnet_apps.dir/npb.cpp.o" "gcc" "src/apps/CMakeFiles/vnet_apps.dir/npb.cpp.o.d"
+  "/root/repo/src/apps/parallel.cpp" "src/apps/CMakeFiles/vnet_apps.dir/parallel.cpp.o" "gcc" "src/apps/CMakeFiles/vnet_apps.dir/parallel.cpp.o.d"
+  "/root/repo/src/apps/timeshare.cpp" "src/apps/CMakeFiles/vnet_apps.dir/timeshare.cpp.o" "gcc" "src/apps/CMakeFiles/vnet_apps.dir/timeshare.cpp.o.d"
+  "/root/repo/src/apps/workloads.cpp" "src/apps/CMakeFiles/vnet_apps.dir/workloads.cpp.o" "gcc" "src/apps/CMakeFiles/vnet_apps.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/cluster/CMakeFiles/vnet_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/am/CMakeFiles/vnet_am.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/host/CMakeFiles/vnet_host.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/lanai/CMakeFiles/vnet_lanai.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/myrinet/CMakeFiles/vnet_myrinet.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/vnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnet_apps.dir/bandwidth.cpp.o"
+  "CMakeFiles/vnet_apps.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/vnet_apps.dir/linpack.cpp.o"
+  "CMakeFiles/vnet_apps.dir/linpack.cpp.o.d"
+  "CMakeFiles/vnet_apps.dir/logp.cpp.o"
+  "CMakeFiles/vnet_apps.dir/logp.cpp.o.d"
+  "CMakeFiles/vnet_apps.dir/npb.cpp.o"
+  "CMakeFiles/vnet_apps.dir/npb.cpp.o.d"
+  "CMakeFiles/vnet_apps.dir/parallel.cpp.o"
+  "CMakeFiles/vnet_apps.dir/parallel.cpp.o.d"
+  "CMakeFiles/vnet_apps.dir/timeshare.cpp.o"
+  "CMakeFiles/vnet_apps.dir/timeshare.cpp.o.d"
+  "CMakeFiles/vnet_apps.dir/workloads.cpp.o"
+  "CMakeFiles/vnet_apps.dir/workloads.cpp.o.d"
+  "libvnet_apps.a"
+  "libvnet_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnet_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvnet_apps.a"
+)

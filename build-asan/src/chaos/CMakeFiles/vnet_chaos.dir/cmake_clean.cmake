@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnet_chaos.dir/campaign.cpp.o"
+  "CMakeFiles/vnet_chaos.dir/campaign.cpp.o.d"
+  "CMakeFiles/vnet_chaos.dir/fault_plan.cpp.o"
+  "CMakeFiles/vnet_chaos.dir/fault_plan.cpp.o.d"
+  "CMakeFiles/vnet_chaos.dir/ledger.cpp.o"
+  "CMakeFiles/vnet_chaos.dir/ledger.cpp.o.d"
+  "CMakeFiles/vnet_chaos.dir/scenario.cpp.o"
+  "CMakeFiles/vnet_chaos.dir/scenario.cpp.o.d"
+  "libvnet_chaos.a"
+  "libvnet_chaos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnet_chaos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cpp" "src/cluster/CMakeFiles/vnet_cluster.dir/cluster.cpp.o" "gcc" "src/cluster/CMakeFiles/vnet_cluster.dir/cluster.cpp.o.d"
+  "/root/repo/src/cluster/config.cpp" "src/cluster/CMakeFiles/vnet_cluster.dir/config.cpp.o" "gcc" "src/cluster/CMakeFiles/vnet_cluster.dir/config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/sim/CMakeFiles/vnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/myrinet/CMakeFiles/vnet_myrinet.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/lanai/CMakeFiles/vnet_lanai.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/host/CMakeFiles/vnet_host.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/am/CMakeFiles/vnet_am.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnet_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/vnet_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/vnet_cluster.dir/config.cpp.o"
+  "CMakeFiles/vnet_cluster.dir/config.cpp.o.d"
+  "libvnet_cluster.a"
+  "libvnet_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnet_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnet_host.dir/segment_driver.cpp.o"
+  "CMakeFiles/vnet_host.dir/segment_driver.cpp.o.d"
+  "libvnet_host.a"
+  "libvnet_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnet_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnet_lanai.dir/nic.cpp.o"
+  "CMakeFiles/vnet_lanai.dir/nic.cpp.o.d"
+  "libvnet_lanai.a"
+  "libvnet_lanai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnet_lanai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

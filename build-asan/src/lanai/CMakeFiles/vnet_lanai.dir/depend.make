@@ -1,0 +1,2 @@
+# Empty dependencies file for vnet_lanai.
+# This may be replaced when dependencies are built.

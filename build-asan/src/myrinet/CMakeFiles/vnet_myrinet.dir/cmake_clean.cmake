@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnet_myrinet.dir/fabric.cpp.o"
+  "CMakeFiles/vnet_myrinet.dir/fabric.cpp.o.d"
+  "libvnet_myrinet.a"
+  "libvnet_myrinet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnet_myrinet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

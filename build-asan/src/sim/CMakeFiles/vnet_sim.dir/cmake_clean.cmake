@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnet_sim.dir/time.cpp.o"
+  "CMakeFiles/vnet_sim.dir/time.cpp.o.d"
+  "libvnet_sim.a"
+  "libvnet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnet_sock.dir/socket.cpp.o"
+  "CMakeFiles/vnet_sock.dir/socket.cpp.o.d"
+  "libvnet_sock.a"
+  "libvnet_sock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnet_sock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnet_via.dir/via.cpp.o"
+  "CMakeFiles/vnet_via.dir/via.cpp.o.d"
+  "libvnet_via.a"
+  "libvnet_via.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnet_via.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

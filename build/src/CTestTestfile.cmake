@@ -12,4 +12,5 @@ subdirs("am")
 subdirs("via")
 subdirs("sock")
 subdirs("cluster")
+subdirs("chaos")
 subdirs("apps")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chaos/campaign.cpp" "src/chaos/CMakeFiles/vnet_chaos.dir/campaign.cpp.o" "gcc" "src/chaos/CMakeFiles/vnet_chaos.dir/campaign.cpp.o.d"
+  "/root/repo/src/chaos/fault_plan.cpp" "src/chaos/CMakeFiles/vnet_chaos.dir/fault_plan.cpp.o" "gcc" "src/chaos/CMakeFiles/vnet_chaos.dir/fault_plan.cpp.o.d"
+  "/root/repo/src/chaos/ledger.cpp" "src/chaos/CMakeFiles/vnet_chaos.dir/ledger.cpp.o" "gcc" "src/chaos/CMakeFiles/vnet_chaos.dir/ledger.cpp.o.d"
+  "/root/repo/src/chaos/scenario.cpp" "src/chaos/CMakeFiles/vnet_chaos.dir/scenario.cpp.o" "gcc" "src/chaos/CMakeFiles/vnet_chaos.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/vnet_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/am/CMakeFiles/vnet_am.dir/DependInfo.cmake"
+  "/root/repo/build/src/lanai/CMakeFiles/vnet_lanai.dir/DependInfo.cmake"
+  "/root/repo/build/src/myrinet/CMakeFiles/vnet_myrinet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/vnet_host.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

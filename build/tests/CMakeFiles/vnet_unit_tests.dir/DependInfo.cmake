@@ -11,11 +11,13 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/am_test.cpp" "tests/CMakeFiles/vnet_unit_tests.dir/am_test.cpp.o" "gcc" "tests/CMakeFiles/vnet_unit_tests.dir/am_test.cpp.o.d"
   "/root/repo/tests/apps_test.cpp" "tests/CMakeFiles/vnet_unit_tests.dir/apps_test.cpp.o" "gcc" "tests/CMakeFiles/vnet_unit_tests.dir/apps_test.cpp.o.d"
   "/root/repo/tests/bundle_test.cpp" "tests/CMakeFiles/vnet_unit_tests.dir/bundle_test.cpp.o" "gcc" "tests/CMakeFiles/vnet_unit_tests.dir/bundle_test.cpp.o.d"
+  "/root/repo/tests/chaos_test.cpp" "tests/CMakeFiles/vnet_unit_tests.dir/chaos_test.cpp.o" "gcc" "tests/CMakeFiles/vnet_unit_tests.dir/chaos_test.cpp.o.d"
   "/root/repo/tests/extensions_test.cpp" "tests/CMakeFiles/vnet_unit_tests.dir/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/vnet_unit_tests.dir/extensions_test.cpp.o.d"
   "/root/repo/tests/host_test.cpp" "tests/CMakeFiles/vnet_unit_tests.dir/host_test.cpp.o" "gcc" "tests/CMakeFiles/vnet_unit_tests.dir/host_test.cpp.o.d"
   "/root/repo/tests/lanai_test.cpp" "tests/CMakeFiles/vnet_unit_tests.dir/lanai_test.cpp.o" "gcc" "tests/CMakeFiles/vnet_unit_tests.dir/lanai_test.cpp.o.d"
   "/root/repo/tests/myrinet_test.cpp" "tests/CMakeFiles/vnet_unit_tests.dir/myrinet_test.cpp.o" "gcc" "tests/CMakeFiles/vnet_unit_tests.dir/myrinet_test.cpp.o.d"
   "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/vnet_unit_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/vnet_unit_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/repro_lost_test.cpp" "tests/CMakeFiles/vnet_unit_tests.dir/repro_lost_test.cpp.o" "gcc" "tests/CMakeFiles/vnet_unit_tests.dir/repro_lost_test.cpp.o.d"
   "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/vnet_unit_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/vnet_unit_tests.dir/sim_test.cpp.o.d"
   "/root/repo/tests/sock_test.cpp" "tests/CMakeFiles/vnet_unit_tests.dir/sock_test.cpp.o" "gcc" "tests/CMakeFiles/vnet_unit_tests.dir/sock_test.cpp.o.d"
   "/root/repo/tests/via_test.cpp" "tests/CMakeFiles/vnet_unit_tests.dir/via_test.cpp.o" "gcc" "tests/CMakeFiles/vnet_unit_tests.dir/via_test.cpp.o.d"
@@ -29,6 +31,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/host/CMakeFiles/vnet_host.dir/DependInfo.cmake"
   "/root/repo/build/src/am/CMakeFiles/vnet_am.dir/DependInfo.cmake"
   "/root/repo/build/src/cluster/CMakeFiles/vnet_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/chaos/CMakeFiles/vnet_chaos.dir/DependInfo.cmake"
   "/root/repo/build/src/apps/CMakeFiles/vnet_apps.dir/DependInfo.cmake"
   "/root/repo/build/src/via/CMakeFiles/vnet_via.dir/DependInfo.cmake"
   "/root/repo/build/src/sock/CMakeFiles/vnet_sock.dir/DependInfo.cmake"
