@@ -12,6 +12,7 @@
 #include "am/endpoint.hpp"
 #include "cluster/cluster.hpp"
 #include "cluster/config.hpp"
+#include "obs/metrics.hpp"
 
 using namespace vnet;
 
@@ -148,5 +149,7 @@ int main() {
               static_cast<unsigned long long>(
                   cl.host(0).driver().stats().remaps),
               cl.host(0).nic().endpoint_frames());
+  std::printf("\nper-endpoint activity on node 0:\n%s",
+              obs::render_table(cl.engine().snapshot(), "host.0.ep").c_str());
   return 0;
 }

@@ -15,11 +15,20 @@ echo "== configure + build (ASan+UBSan) =="
 cmake -B build-asan -S . -DVNET_SANITIZE=ON >/dev/null
 cmake --build build-asan -j "$JOBS"
 
+echo "== configure + build (tracing compiled out) =="
+cmake -B build-notrace -S . -DVNET_TRACING=OFF >/dev/null
+cmake --build build-notrace -j "$JOBS"
+
 echo "== tests (default) =="
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
 echo "== tests (ASan+UBSan) =="
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "== tests (tracing compiled out) =="
+# Includes the Trace.MacroCompileConfigIsZeroCost guard, which asserts the
+# VNET_TRACE_* macros expand to nothing in this configuration.
+ctest --test-dir build-notrace --output-on-failure -j "$JOBS" -R "Trace\.|Metrics\.|ObsIntegration\."
 
 echo "== chaos matrix (determinism check) =="
 ./build/bench/bench_chaos_matrix --seeds 2 | tee /tmp/chaos_matrix.1

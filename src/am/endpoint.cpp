@@ -24,6 +24,18 @@ Endpoint::Endpoint(host::Host& host, lanai::EndpointState* state, bool shared)
       events_(host.engine()),
       handlers_(256),
       credit_limit_(host.nic().config().recv_request_depth) {
+  const std::string prefix = "host." + std::to_string(state_->node) + ".ep." +
+                             std::to_string(state_->id);
+  obs::MetricsRegistry& reg = host.engine().metrics();
+  counters_.requests_sent = reg.counter(prefix + ".requests_sent");
+  counters_.replies_sent = reg.counter(prefix + ".replies_sent");
+  counters_.credit_replies_sent = reg.counter(prefix + ".credit_replies_sent");
+  counters_.messages_handled = reg.counter(prefix + ".messages_handled");
+  counters_.returns_handled = reg.counter(prefix + ".returns_handled");
+  counters_.send_stalls = reg.counter(prefix + ".send_stalls");
+  VNET_TRACE_INSTANT(host.engine().tracer(), "endpoint", "ep_create",
+                     static_cast<int>(state_->node), 0,
+                     {{"ep", static_cast<std::int64_t>(state_->id)}});
   state_->on_arrival = [this] { on_arrival(); };
   state_->on_send_progress = [this] { on_send_progress(); };
   state_->on_return_to_sender = [this](lanai::SendDescriptor d,
@@ -38,6 +50,17 @@ Endpoint::~Endpoint() {
     state_->on_send_progress = nullptr;
     state_->on_return_to_sender = nullptr;
   }
+}
+
+Endpoint::Stats Endpoint::stats() const {
+  Stats s;
+  s.requests_sent = counters_.requests_sent.value();
+  s.replies_sent = counters_.replies_sent.value();
+  s.credit_replies_sent = counters_.credit_replies_sent.value();
+  s.messages_handled = counters_.messages_handled.value();
+  s.returns_handled = counters_.returns_handled.value();
+  s.send_stalls = counters_.send_stalls.value();
+  return s;
 }
 
 sim::Task<std::unique_ptr<Endpoint>> Endpoint::create(host::HostThread& t,
@@ -224,7 +247,7 @@ sim::Task<> Endpoint::send_common(host::HostThread& t,
           outstanding_requests_ >= credit_limit_)) {
     if (!stalled) {
       stalled = true;
-      ++stats_.send_stalls;
+      counters_.send_stalls.inc();
     }
     unlock();
     // Poll to drain replies (returning credits) and keep handlers running.
@@ -269,9 +292,9 @@ sim::Task<> Endpoint::send_common(host::HostThread& t,
   state_->send_queue.push_back(std::move(desc));
   if (is_request) {
     ++outstanding_requests_;
-    ++stats_.requests_sent;
+    counters_.requests_sent.inc();
   } else {
-    ++stats_.replies_sent;
+    counters_.replies_sent.inc();
   }
   host_->nic().doorbell(*state_);
   unlock();
@@ -299,7 +322,7 @@ sim::Task<std::size_t> Endpoint::poll(host::HostThread& t, std::size_t max) {
     if (r.descriptor.body.is_request && outstanding_requests_ > 0) {
       --outstanding_requests_;  // the request will never be replied to
     }
-    ++stats_.returns_handled;
+    counters_.returns_handled.inc();
     ++processed;
     if (undeliverable_) undeliverable_(*this, std::move(r));
   }
@@ -342,14 +365,14 @@ sim::Task<std::size_t> Endpoint::poll(host::HostThread& t, std::size_t max) {
     if (!msg.is_request()) {
       if (outstanding_requests_ > 0) --outstanding_requests_;
       if (msg.handler() != kCreditHandler) {
-        ++stats_.messages_handled;
+        counters_.messages_handled.inc();
         if (handlers_[msg.handler()]) handlers_[msg.handler()](*this, msg);
       }
       events_.notify_all();  // credit/space became available
       continue;
     }
 
-    ++stats_.messages_handled;
+    counters_.messages_handled.inc();
     if (handlers_[msg.handler()]) handlers_[msg.handler()](*this, msg);
 
     // Request/reply paradigm: send the handler's reply, or an implicit
@@ -364,14 +387,14 @@ sim::Task<std::size_t> Endpoint::poll(host::HostThread& t, std::size_t max) {
       d.body.bulk_bytes = ri.bulk_bytes;
       d.body.bulk_data = ri.data;
       co_await enqueue_reply_locked(t, std::move(d));
-      ++stats_.replies_sent;
+      counters_.replies_sent.inc();
     } else if (flow_control_) {
       lanai::SendDescriptor d;
       d.reply_to = msg.reply_token();
       d.body.is_request = false;
       d.body.handler = kCreditHandler;
       co_await enqueue_reply_locked(t, std::move(d));
-      ++stats_.credit_replies_sent;
+      counters_.credit_replies_sent.inc();
     }
   }
 

@@ -10,6 +10,7 @@
 
 #include "am/message.hpp"
 #include "host/host.hpp"
+#include "obs/metrics.hpp"
 #include "lanai/endpoint_state.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
@@ -156,6 +157,10 @@ class Endpoint {
 
   // ---- statistics ----
 
+  /// Deprecated shim kept for one PR: a value snapshot of the endpoint's
+  /// counters, materialized by stats(). New code should snapshot the
+  /// engine's metric registry instead; counters live under
+  /// `host.<node>.ep.<id>.*` (see obs/metrics.hpp).
   struct Stats {
     std::uint64_t requests_sent = 0;
     std::uint64_t replies_sent = 0;
@@ -164,7 +169,7 @@ class Endpoint {
     std::uint64_t returns_handled = 0;
     std::uint64_t send_stalls = 0;  ///< times request() had to wait
   };
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
 
  private:
   Endpoint(host::Host& host, lanai::EndpointState* state, bool shared);
@@ -199,9 +204,19 @@ class Endpoint {
   int credit_limit_;
   int outstanding_requests_ = 0;
 
+  /// Registry-backed counters under `host.<node>.ep.<id>.*`.
+  struct EpCounters {
+    obs::Counter requests_sent;
+    obs::Counter replies_sent;
+    obs::Counter credit_replies_sent;
+    obs::Counter messages_handled;
+    obs::Counter returns_handled;
+    obs::Counter send_stalls;
+  };
+
   bool destroyed_ = false;
   sim::CondVar* event_sink_ = nullptr;
-  Stats stats_;
+  EpCounters counters_;
 
   inline static MessageProbe* probe_ = nullptr;
 };

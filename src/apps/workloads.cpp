@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "cluster/cluster.hpp"
+#include "obs/metrics.hpp"
 
 namespace vnet::apps {
 
@@ -227,24 +228,22 @@ ContentionResult run_contention(const ContentionParams& params) {
                     });
   }
 
-  // Measurement schedule.
+  // Measurement schedule. The measurement window is a pair of registry
+  // snapshots: everything counted inside the window is a snapshot diff,
+  // no per-counter bookkeeping at open time.
   ContentionResult result;
-  auto& driver_stats = cl.host(0).driver();
   auto& nic = cl.host(0).nic();
-  std::uint64_t remaps_at_open = 0, qfull_at_open = 0, notres_at_open = 0,
-                retrans_at_open = 0;
+  const std::string qfull_name =
+      "host.0.nic.nacks_sent_by_reason." +
+      std::to_string(static_cast<int>(lanai::NackReason::kQueueFull));
+  const std::string notres_name =
+      "host.0.nic.nacks_sent_by_reason." +
+      std::to_string(static_cast<int>(lanai::NackReason::kNotResident));
+  obs::Snapshot open_snap;
 
   cl.engine().after(params.warmup, [&] {
     st->window_open = true;
-    remaps_at_open = driver_stats.stats().remaps;
-    qfull_at_open = nic.stats().nacks_sent_by_reason[static_cast<int>(
-        lanai::NackReason::kQueueFull)];
-    notres_at_open = nic.stats().nacks_sent_by_reason[static_cast<int>(
-        lanai::NackReason::kNotResident)];
-    retrans_at_open = 0;
-    for (int n = 0; n <= params.clients; ++n) {
-      retrans_at_open += cl.host(n).nic().stats().retransmissions;
-    }
+    open_snap = cl.engine().snapshot();
   });
   cl.engine().after(params.warmup + params.window, [&] {
     st->window_open = false;
@@ -261,24 +260,16 @@ ContentionResult run_contention(const ContentionParams& params) {
     result.aggregate_per_sec = total;
     result.aggregate_mb_per_sec =
         total * params.request_bytes / (1024.0 * 1024.0);
+    const obs::Snapshot close_snap = cl.engine().snapshot();
+    const obs::Snapshot window = obs::diff(close_snap, open_snap);
     result.remaps_per_sec =
-        static_cast<double>(driver_stats.stats().remaps - remaps_at_open) /
-        secs;
-    result.server_write_faults = driver_stats.stats().write_faults;
-    result.server_proxy_faults = driver_stats.stats().proxy_faults;
-    result.queue_full_nacks =
-        nic.stats().nacks_sent_by_reason[static_cast<int>(
-            lanai::NackReason::kQueueFull)] -
-        qfull_at_open;
-    result.not_resident_nacks =
-        nic.stats().nacks_sent_by_reason[static_cast<int>(
-            lanai::NackReason::kNotResident)] -
-        notres_at_open;
-    std::uint64_t retrans = 0;
-    for (int n = 0; n <= params.clients; ++n) {
-      retrans += cl.host(n).nic().stats().retransmissions;
-    }
-    result.retransmissions = retrans - retrans_at_open;
+        static_cast<double>(window.counter("host.0.driver.remaps")) / secs;
+    result.server_write_faults = close_snap.counter("host.0.driver.write_faults");
+    result.server_proxy_faults = close_snap.counter("host.0.driver.proxy_faults");
+    result.queue_full_nacks = window.counter(qfull_name);
+    result.not_resident_nacks = window.counter(notres_name);
+    result.retransmissions =
+        window.sum_counters("host.", ".nic.retransmissions");
   });
   cl.engine().after(params.warmup + params.window + 60 * sim::ms,
                     [&] { st->servers_stop = true; });

@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <memory>
-#include <sstream>
 #include <stdexcept>
 
 #include "am/endpoint.hpp"
 #include "lanai/nic.hpp"
+#include "obs/metrics.hpp"
 
 namespace vnet::chaos {
 
@@ -240,16 +240,16 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   res.reissued = sh.reissued;
   res.unfinished = sh.unfinished;
 
-  for (int nidx = 0; nidx < cl.size(); ++nidx) {
-    const lanai::NicStats& s = cl.host(nidx).nic().stats();
-    res.retransmissions += s.retransmissions;
-    res.timeouts += s.timeouts;
-    res.channel_unbinds += s.channel_unbinds;
-    res.duplicates_suppressed += s.duplicates_suppressed;
-    res.returned_to_sender += s.returned_to_sender;
-  }
-  res.dropped_down = cl.fabric().total_dropped_down();
-  res.dropped_fault = cl.fabric().total_dropped_fault();
+  const obs::Snapshot snap = cl.engine().snapshot();
+  res.retransmissions = snap.sum_counters("host.", ".nic.retransmissions");
+  res.timeouts = snap.sum_counters("host.", ".nic.timeouts");
+  res.channel_unbinds = snap.sum_counters("host.", ".nic.channel_unbinds");
+  res.duplicates_suppressed =
+      snap.sum_counters("host.", ".nic.duplicates_suppressed");
+  res.returned_to_sender =
+      snap.sum_counters("host.", ".nic.returned_to_sender");
+  res.dropped_down = snap.sum_counters("fabric.link.", ".drops_down");
+  res.dropped_fault = snap.sum_counters("fabric.link.", ".drops_fault");
 
   res.last_fault_at = campaign.last_action_time();
   res.resolved_at = ledger.last_terminal_time();
@@ -257,11 +257,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
       0, ledger.last_terminal_time() - campaign.last_action_time());
   res.total_time = run_time;
   res.campaign_log = campaign.log();
-  {
-    std::ostringstream os;
-    cl.fabric().dump_link_stats(os);
-    res.link_stats = os.str();
-  }
+  res.link_stats = obs::render_table(snap, "fabric.link");
   return res;
 }
 

@@ -18,6 +18,18 @@ const char* to_string(Residency r) {
   return "?";
 }
 
+void SegmentDriver::DriverCounters::register_with(obs::MetricsRegistry& reg,
+                                                  const std::string& prefix) {
+  write_faults = reg.counter(prefix + ".write_faults");
+  disk_faults = reg.counter(prefix + ".disk_faults");
+  proxy_faults = reg.counter(prefix + ".proxy_faults");
+  remaps = reg.counter(prefix + ".remaps");
+  evictions = reg.counter(prefix + ".evictions");
+  pageouts = reg.counter(prefix + ".pageouts");
+  endpoints_created = reg.counter(prefix + ".endpoints_created");
+  endpoints_destroyed = reg.counter(prefix + ".endpoints_destroyed");
+}
+
 SegmentDriver::SegmentDriver(sim::Engine& engine, Cpu& cpu, lanai::Nic& nic,
                              const HostConfig& config)
     : engine_(&engine),
@@ -25,7 +37,33 @@ SegmentDriver::SegmentDriver(sim::Engine& engine, Cpu& cpu, lanai::Nic& nic,
       nic_(&nic),
       config_(&config),
       work_(engine),
-      rng_(engine.rng().split()) {}
+      rng_(engine.rng().split()),
+      metric_prefix_("host." + std::to_string(nic.node()) + ".driver") {
+  counters_.register_with(engine.metrics(), metric_prefix_);
+  engine.metrics().gauge_fn(metric_prefix_ + ".resident_endpoints", [this] {
+    return static_cast<double>(resident_count());
+  });
+  engine.metrics().gauge_fn(metric_prefix_ + ".remap_queue", [this] {
+    return static_cast<double>(remap_queue_.size());
+  });
+}
+
+SegmentDriver::~SegmentDriver() {
+  engine_->metrics().remove_fn_prefix(metric_prefix_ + ".");
+}
+
+SegmentDriver::Stats SegmentDriver::stats() const {
+  Stats s;
+  s.write_faults = counters_.write_faults.value();
+  s.disk_faults = counters_.disk_faults.value();
+  s.proxy_faults = counters_.proxy_faults.value();
+  s.remaps = counters_.remaps.value();
+  s.evictions = counters_.evictions.value();
+  s.pageouts = counters_.pageouts.value();
+  s.endpoints_created = counters_.endpoints_created.value();
+  s.endpoints_destroyed = counters_.endpoints_destroyed.value();
+  return s;
+}
 
 void SegmentDriver::start() {
   assert(!started_);
@@ -38,7 +76,7 @@ void SegmentDriver::start() {
     lamport_ = std::max(lamport_, req.lamport) + 1;
     auto it = endpoints_.find(req.ep);
     if (it == endpoints_.end() || it->second->destroyed) return;
-    ++stats_.proxy_faults;
+    counters_.proxy_faults.inc();
     schedule_remap(*it->second);
   };
   engine_->spawn(remap_thread());
@@ -62,7 +100,7 @@ sim::Task<lanai::EndpointState*> SegmentDriver::create_endpoint(
   co_await done.wait();
   Managed& managed = *m;
   endpoints_.emplace(raw->id, std::move(m));
-  ++stats_.endpoints_created;
+  counters_.endpoints_created.inc();
   if (config_->eager_binding) {
     schedule_remap(managed);
     while (managed.res != Residency::kOnNic && !managed.destroyed) {
@@ -82,7 +120,7 @@ sim::Task<> SegmentDriver::destroy_endpoint(ThreadCtx& t,
   sim::Gate done(*engine_);
   nic_->submit({lanai::DriverOp::Kind::kDestroy, ep, -1, ++lamport_, &done});
   co_await done.wait();  // the NIC quiesces in-flight traffic first (§5.3)
-  ++stats_.endpoints_destroyed;
+  counters_.endpoints_destroyed.inc();
   m->resident_cv.notify_all();
   endpoints_.erase(ep->id);
 }
@@ -102,14 +140,17 @@ sim::Task<> SegmentDriver::ensure_writable(ThreadCtx& t,
     case Residency::kOnHostRW:
       co_return;  // already writable; common case costs nothing extra
     case Residency::kOnDisk:
-      ++stats_.disk_faults;
+      counters_.disk_faults.inc();
       co_await cpu_->run(t, config_->fault_overhead);
       co_await engine_->delay(config_->disk_fault_latency);
       m->res = Residency::kOnHostRO;
       [[fallthrough]];
     case Residency::kOnHostRO:
       // Write fault: make the page writable and schedule the re-mapping.
-      ++stats_.write_faults;
+      counters_.write_faults.inc();
+      VNET_TRACE_INSTANT(engine_->tracer(), "driver", "write_fault",
+                         static_cast<int>(nic_->node()), 0,
+                         {{"ep", static_cast<std::int64_t>(ep->id)}});
       co_await cpu_->run(t, config_->fault_overhead +
                                 config_->remap_schedule_overhead);
       m->res = Residency::kOnHostRW;
@@ -148,7 +189,7 @@ void SegmentDriver::page_out(lanai::EndpointState* ep) {
     return;
   }
   m->res = Residency::kOnDisk;
-  ++stats_.pageouts;
+  counters_.pageouts.inc();
 }
 
 int SegmentDriver::resident_count() const {
@@ -188,7 +229,7 @@ sim::Process SegmentDriver::remap_thread() {
 
 sim::Task<> SegmentDriver::make_resident(Managed& m) {
   if (m.res == Residency::kOnDisk) {
-    ++stats_.disk_faults;
+    counters_.disk_faults.inc();
     co_await engine_->delay(config_->disk_fault_latency);
     m.res = Residency::kOnHostRW;
   }
@@ -208,7 +249,7 @@ sim::Task<> SegmentDriver::make_resident(Managed& m) {
   co_await done.wait();
   m.res = Residency::kOnNic;
   m.load_seq = next_load_seq_++;
-  ++stats_.remaps;
+  counters_.remaps.inc();
   m.resident_cv.notify_all();
   nic_->doorbell(*m.state);
 }
@@ -226,7 +267,10 @@ sim::Task<> SegmentDriver::evict_one(Managed* keep) {
                 ++lamport_, &done});
   co_await done.wait();  // includes quiescence of in-flight messages
   victim->res = Residency::kOnHostRO;
-  ++stats_.evictions;
+  counters_.evictions.inc();
+  VNET_TRACE_INSTANT(engine_->tracer(), "driver", "evict",
+                     static_cast<int>(nic_->node()), 0,
+                     {{"ep", static_cast<std::int64_t>(victim->state->id)}});
   // §4.2: the background thread "activates non-empty endpoints". An evicted
   // endpoint that still has unfinished send work must come back on its own —
   // no future write fault or message arrival may ever reference it (e.g. a

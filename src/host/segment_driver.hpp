@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <string>
 #include <unordered_map>
 
 #include "host/config.hpp"
@@ -38,6 +39,10 @@ class SegmentDriver {
   /// (§4.2); FIFO and LRU are provided for the ablation study.
   enum class Policy { kRandom, kFifo, kLru };
 
+  /// Deprecated shim kept for one PR: a value snapshot of the driver's
+  /// counters, materialized by stats(). New code should snapshot the
+  /// engine's metric registry instead; counters live under
+  /// `host.<node>.driver.*` (see obs/metrics.hpp).
   struct Stats {
     std::uint64_t write_faults = 0;
     std::uint64_t disk_faults = 0;
@@ -49,11 +54,29 @@ class SegmentDriver {
     std::uint64_t endpoints_destroyed = 0;
   };
 
+  /// Registry-backed counter handles for the driver, registered under
+  /// `host.<node>.driver.*` at construction.
+  struct DriverCounters {
+    obs::Counter write_faults;
+    obs::Counter disk_faults;
+    obs::Counter proxy_faults;
+    obs::Counter remaps;
+    obs::Counter evictions;
+    obs::Counter pageouts;
+    obs::Counter endpoints_created;
+    obs::Counter endpoints_destroyed;
+    void register_with(obs::MetricsRegistry& reg, const std::string& prefix);
+  };
+
   SegmentDriver(sim::Engine& engine, Cpu& cpu, lanai::Nic& nic,
                 const HostConfig& config);
 
   SegmentDriver(const SegmentDriver&) = delete;
   SegmentDriver& operator=(const SegmentDriver&) = delete;
+
+  /// Unregisters the pull-style gauges (resident_endpoints, remap_queue)
+  /// from the engine's registry; the engine outlives every driver.
+  ~SegmentDriver();
 
   /// Hooks the NIC's driver-request upcall and spawns the background
   /// re-mapping kernel thread. Call once.
@@ -94,7 +117,7 @@ class SegmentDriver {
   void set_policy(Policy p) { policy_ = p; }
   Policy policy() const { return policy_; }
 
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
   int resident_count() const;
   std::size_t remap_queue_size() const { return remap_queue_.size(); }
 
@@ -133,7 +156,8 @@ class SegmentDriver {
   std::uint64_t lamport_ = 0;
   Policy policy_ = Policy::kRandom;
   sim::Rng rng_;
-  Stats stats_;
+  DriverCounters counters_;
+  std::string metric_prefix_;
   bool started_ = false;
 };
 

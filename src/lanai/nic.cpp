@@ -30,6 +30,36 @@ const char* to_string(NackReason r) {
   return "?";
 }
 
+void NicCounters::register_with(obs::MetricsRegistry& reg,
+                                const std::string& prefix) {
+  data_sent = reg.counter(prefix + ".data_sent");
+  data_received = reg.counter(prefix + ".data_received");
+  acks_sent = reg.counter(prefix + ".acks_sent");
+  acks_received = reg.counter(prefix + ".acks_received");
+  nacks_sent = reg.counter(prefix + ".nacks_sent");
+  nacks_received = reg.counter(prefix + ".nacks_received");
+  retransmissions = reg.counter(prefix + ".retransmissions");
+  timeouts = reg.counter(prefix + ".timeouts");
+  channel_unbinds = reg.counter(prefix + ".channel_unbinds");
+  returned_to_sender = reg.counter(prefix + ".returned_to_sender");
+  crc_drops = reg.counter(prefix + ".crc_drops");
+  gam_drops = reg.counter(prefix + ".gam_drops");
+  duplicates_suppressed = reg.counter(prefix + ".duplicates_suppressed");
+  local_deliveries = reg.counter(prefix + ".local_deliveries");
+  remap_requests = reg.counter(prefix + ".remap_requests");
+  driver_ops = reg.counter(prefix + ".driver_ops");
+  msgs_completed = reg.counter(prefix + ".msgs_completed");
+  frames_loaded = reg.counter(prefix + ".frames_loaded");
+  frames_unloaded = reg.counter(prefix + ".frames_unloaded");
+  acks_piggybacked = reg.counter(prefix + ".acks_piggybacked");
+  piggy_flushes = reg.counter(prefix + ".piggy_flushes");
+  for (int i = 0; i < 8; ++i) {
+    nacks_sent_by_reason[i] =
+        reg.counter(prefix + ".nacks_sent_by_reason." + std::to_string(i));
+  }
+  rtt_ns = reg.histogram(prefix + ".rtt_ns");
+}
+
 Nic::Nic(sim::Engine& engine, myrinet::Fabric& fabric, NodeId node,
          NicConfig config)
     : engine_(&engine),
@@ -42,7 +72,39 @@ Nic::Nic(sim::Engine& engine, myrinet::Fabric& fabric, NodeId node,
       rx_(engine),
       driver_ops_(engine),
       frames_(static_cast<std::size_t>(config.endpoint_frames)),
-      rng_(engine.rng().split()) {}
+      rng_(engine.rng().split()) {
+  counters_.register_with(engine.metrics(),
+                          "host." + std::to_string(node) + ".nic");
+}
+
+NicStats Nic::stats() const {
+  NicStats s;
+  s.data_sent = counters_.data_sent.value();
+  s.data_received = counters_.data_received.value();
+  s.acks_sent = counters_.acks_sent.value();
+  s.acks_received = counters_.acks_received.value();
+  s.nacks_sent = counters_.nacks_sent.value();
+  s.nacks_received = counters_.nacks_received.value();
+  s.retransmissions = counters_.retransmissions.value();
+  s.timeouts = counters_.timeouts.value();
+  s.channel_unbinds = counters_.channel_unbinds.value();
+  s.returned_to_sender = counters_.returned_to_sender.value();
+  s.crc_drops = counters_.crc_drops.value();
+  s.gam_drops = counters_.gam_drops.value();
+  s.duplicates_suppressed = counters_.duplicates_suppressed.value();
+  s.local_deliveries = counters_.local_deliveries.value();
+  s.remap_requests = counters_.remap_requests.value();
+  s.driver_ops = counters_.driver_ops.value();
+  s.msgs_completed = counters_.msgs_completed.value();
+  s.frames_loaded = counters_.frames_loaded.value();
+  s.frames_unloaded = counters_.frames_unloaded.value();
+  s.acks_piggybacked = counters_.acks_piggybacked.value();
+  s.piggy_flushes = counters_.piggy_flushes.value();
+  for (int i = 0; i < 8; ++i) {
+    s.nacks_sent_by_reason[i] = counters_.nacks_sent_by_reason[i].value();
+  }
+  return s;
+}
 
 void Nic::start() {
   assert(!started_);
@@ -72,6 +134,8 @@ int Nic::free_frames() const {
 }
 
 void Nic::reboot() {
+  VNET_TRACE_INSTANT(engine_->tracer(), "fault", "nic_reboot",
+                     static_cast<int>(node_));
   // Transport state is lost: channels restart in a new epoch; the receive
   // side re-synchronizes on the first frame it sees (§5.1). Message-level
   // receive state (dedup windows, reassembly) lives in the endpoints, which
@@ -295,13 +359,13 @@ sim::Task<bool> Nic::start_fragment(EndpointState& ep, SendDescriptor& desc) {
 
   if (gam) {
     co_await inject(f);
-    ++stats_.data_sent;
+    counters_.data_sent.inc();
     // No acknowledgment: the first-generation interface assumes a
     // reliable network. The descriptor completes as soon as it is sent.
     desc.frag_state[frag] = SendDescriptor::FragState::kAcked;
     ++desc.frags_acked;
     if (desc.complete()) {
-      ++stats_.msgs_completed;
+      counters_.msgs_completed.inc();
       ++ep.msgs_sent;
       sweep_send_queue(ep);
       if (ep.on_send_progress) ep.on_send_progress();
@@ -329,13 +393,13 @@ sim::Task<bool> Nic::start_fragment(EndpointState& ep, SendDescriptor& desc) {
                           pending.begin() + static_cast<std::ptrdiff_t>(take));
       pending.erase(pending.begin(),
                     pending.begin() + static_cast<std::ptrdiff_t>(take));
-      stats_.acks_piggybacked += take;
+      counters_.acks_piggybacked.inc(take);
     }
   }
   ch->pending = f;
 
   co_await inject(f);
-  ++stats_.data_sent;
+  counters_.data_sent.inc();
   if (table_gen != channel_table_gen_) {
     co_return true;  // rebooted during injection: channel table is gone
   }
@@ -352,8 +416,8 @@ sim::Task<bool> Nic::deliver_local(EndpointState& src, SendDescriptor& desc,
   auto finish_ok = [&] {
     desc.frag_state.assign(desc.frag_count, SendDescriptor::FragState::kAcked);
     desc.frags_acked = desc.frag_count;
-    ++stats_.msgs_completed;
-    ++stats_.local_deliveries;
+    counters_.msgs_completed.inc();
+    counters_.local_deliveries.inc();
     ++src.msgs_sent;
     sweep_send_queue(src);
     if (src.on_send_progress) src.on_send_progress();
@@ -384,7 +448,7 @@ sim::Task<bool> Nic::deliver_local(EndpointState& src, SendDescriptor& desc,
   if (queue.size() + reserved >= depth) {
     if (gam) {
       // GAM drops on overrun; user-level credits are the only protection.
-      ++stats_.gam_drops;
+      counters_.gam_drops.inc();
       ++dst.recv_overruns;
       finish_ok();  // the send itself "succeeded"
       co_return true;
@@ -443,7 +507,7 @@ sim::Task<bool> Nic::handle_rx(myrinet::Packet pkt) {
   if (frame == nullptr) co_return true;  // foreign traffic: ignore
   if (pkt.corrupt) {
     // CRC failure: drop silently; the sender's timer recovers it.
-    ++stats_.crc_drops;
+    counters_.crc_drops.inc();
     co_await charge(16);
     co_return true;
   }
@@ -457,7 +521,7 @@ sim::Task<bool> Nic::handle_rx(myrinet::Packet pkt) {
 
 sim::Task<> Nic::handle_data(Frame f) {
   const bool gam = !config_.reliable_transport;
-  ++stats_.data_received;
+  counters_.data_received.inc();
   for (const auto& pa : f.piggy_acks) {
     co_await apply_positive_ack(f.src_node, pa, /*standalone=*/false);
   }
@@ -482,7 +546,7 @@ sim::Task<> Nic::handle_data(Frame f) {
     }
     if (rcs->have_seq && rcs->last_seq == f.seq) {
       // Duplicate of an already-accepted frame (our ack was lost): re-ack.
-      ++stats_.duplicates_suppressed;
+      counters_.duplicates_suppressed.inc();
       co_await send_ack(f);
       co_return;
     }
@@ -503,7 +567,7 @@ sim::Task<> Nic::handle_data(Frame f) {
     // driver to activate the endpoint (§4.1, §4.2). The sender retries.
     request_make_resident(ep.id);
     if (gam) {
-      ++stats_.gam_drops;
+      counters_.gam_drops.inc();
     } else {
       co_await send_nack(f, NackReason::kNotResident);
     }
@@ -516,7 +580,7 @@ sim::Task<> Nic::handle_data(Frame f) {
   if (!gam) {
     auto& window = ep.delivered_from[src_key(f.src_node, f.src_ep)];
     if (window.contains(f.msg_id)) {
-      ++stats_.duplicates_suppressed;
+      counters_.duplicates_suppressed.inc();
       co_await send_ack(f);
       co_return;
     }
@@ -541,7 +605,7 @@ sim::Task<> Nic::handle_data(Frame f) {
   if (first_frag && queue.size() + reserved + staged >= depth) {
     ++ep.recv_overruns;
     if (gam) {
-      ++stats_.gam_drops;
+      counters_.gam_drops.inc();
     } else {
       co_await send_nack(f, NackReason::kQueueFull);
     }
@@ -647,7 +711,7 @@ sim::Task<> Nic::send_ack(const Frame& data) {
   a.acked_seq = data.seq;
   a.timestamp = data.timestamp;  // echoed for the sender's matching rule
   a.msg_id = data.msg_id;
-  ++stats_.acks_sent;
+  counters_.acks_sent.inc();
   co_await inject(std::move(a));
 }
 
@@ -665,8 +729,8 @@ sim::Task<> Nic::send_nack(const Frame& data, NackReason r) {
   a.acked_seq = data.seq;
   a.timestamp = data.timestamp;
   a.msg_id = data.msg_id;
-  ++stats_.nacks_sent;
-  ++stats_.nacks_sent_by_reason[static_cast<int>(r)];
+  counters_.nacks_sent.inc();
+  counters_.nacks_sent_by_reason[static_cast<int>(r)].inc();
   co_await inject(std::move(a));
 }
 
@@ -705,7 +769,7 @@ sim::Task<> Nic::handle_ack_or_nack(const Frame& f) {
       ch.timer_gen++;
       due_retransmits_.push_back(&ch);
     }
-    ++stats_.nacks_received;
+    counters_.nacks_received.inc();
     co_return;
   }
 
@@ -716,7 +780,7 @@ sim::Task<> Nic::handle_ack_or_nack(const Frame& f) {
     co_return;  // stale nack for an older copy
   }
 
-  ++stats_.nacks_received;
+  counters_.nacks_received.inc();
   if (is_fatal(f.nack)) {
     EndpointState* ep = ch.src_ep;
     const std::uint64_t msg = ch.pending.msg_id;
@@ -756,7 +820,7 @@ void Nic::complete_fragment_ack(ChannelState& ch, const Frame& ack) {
   desc->frag_state[idx] = SendDescriptor::FragState::kAcked;
   desc->frags_acked++;
   if (desc->complete()) {
-    ++stats_.msgs_completed;
+    counters_.msgs_completed.inc();
     ++ep.msgs_sent;
     sweep_send_queue(ep);
     if (ep.on_send_progress) ep.on_send_progress();
@@ -807,12 +871,12 @@ sim::Task<bool> Nic::handle_retransmit(ChannelState* ch) {
     co_return true;
   }
 
-  ++stats_.timeouts;
+  counters_.timeouts.inc();
   ch->consecutive_retries++;
   if (ch->consecutive_retries > config_.retransmit_unbind_limit) {
     // Unbind the message from the channel so the channel can be reused;
     // a later retransmission reacquires and rebinds (§5.1).
-    ++stats_.channel_unbinds;
+    counters_.channel_unbinds.inc();
     ch->busy = false;
     ch->timer_gen++;
     const std::uint32_t idx = ch->pending.frag_index;
@@ -829,7 +893,7 @@ sim::Task<bool> Nic::handle_retransmit(ChannelState* ch) {
   ch->timer_gen++;
   ch->sent_at = engine_->now();
   ch->was_retransmitted = true;  // Karn: no RTT sample from this exchange
-  ++stats_.retransmissions;
+  counters_.retransmissions.inc();
   co_await inject(ch->pending);
   if (table_gen != channel_table_gen_) co_return true;
   arm_timer(*ch, backoff_for(*ch, ch->consecutive_retries));
@@ -867,9 +931,10 @@ sim::Task<> Nic::apply_positive_ack(NodeId peer, const Frame::PiggyAck& pa,
       pa.timestamp != ch.pending.timestamp) {
     co_return;  // stale
   }
-  ++stats_.acks_received;
+  counters_.acks_received.inc();
   if (config_.adaptive_timeout && !ch.was_retransmitted) {
     rtt_[peer].sample(engine_->now() - ch.sent_at);
+    counters_.rtt_ns.record(static_cast<double>(engine_->now() - ch.sent_at));
   }
   Frame pseudo;
   pseudo.msg_id = pa.msg_id;
@@ -895,7 +960,7 @@ sim::Task<> Nic::flush_pending_acks(NodeId peer) {
   if (it == pending_acks_.end() || it->second.empty()) co_return;
   auto pending = std::move(it->second);
   it->second.clear();
-  ++stats_.piggy_flushes;
+  counters_.piggy_flushes.inc();
   co_await charge(config_.instr_ack_generate);
   // One standalone ack frame carries the first entry in its main fields
   // and the rest piggybacked.
@@ -910,7 +975,7 @@ sim::Task<> Nic::flush_pending_acks(NodeId peer) {
   a.msg_id = pending[0].msg_id;
   a.frag_index = pending[0].frag_index;
   a.piggy_acks.assign(pending.begin() + 1, pending.end());
-  ++stats_.acks_sent;
+  counters_.acks_sent.inc();
   co_await inject(std::move(a));
 }
 
@@ -918,7 +983,7 @@ sim::Task<> Nic::flush_pending_acks(NodeId peer) {
 
 sim::Task<> Nic::handle_driver(DriverOp op) {
   bump_lamport(op.lamport);
-  ++stats_.driver_ops;
+  counters_.driver_ops.inc();
   co_await charge(config_.instr_driver_op);
   switch (op.kind) {
     case DriverOp::Kind::kCreate:
@@ -935,7 +1000,11 @@ sim::Task<> Nic::handle_driver(DriverOp op) {
         co_await sbus_.transfer(kEndpointImageBytes, SbusDma::Dir::kReadHost);
         frames_[op.frame].ep = &ep;
         ep.frame = op.frame;
-        ++stats_.frames_loaded;
+        counters_.frames_loaded.inc();
+        VNET_TRACE_INSTANT(engine_->tracer(), "endpoint", "ep_load",
+                           static_cast<int>(node_), 0,
+                           {{"ep", static_cast<std::int64_t>(ep.id)},
+                            {"frame", op.frame}});
         resident_requested_.erase(ep.id);
       }
       if (op.done) op.done->open();
@@ -973,9 +1042,13 @@ sim::Task<bool> Nic::process_unloads() {
     if (ep.resident()) {
       // Image moves NIC SRAM -> host memory.
       co_await sbus_.transfer(kEndpointImageBytes, SbusDma::Dir::kWriteHost);
+      VNET_TRACE_INSTANT(engine_->tracer(), "endpoint", "ep_unload",
+                         static_cast<int>(node_), 0,
+                         {{"ep", static_cast<std::int64_t>(ep.id)},
+                          {"frame", ep.frame}});
       frames_[ep.frame].ep = nullptr;
       ep.frame = -1;
-      ++stats_.frames_unloaded;
+      counters_.frames_unloaded.inc();
     }
     if (op.kind == DriverOp::Kind::kDestroy) {
       directory_.erase(ep.id);
@@ -994,7 +1067,7 @@ void Nic::request_make_resident(EpId ep) {
   if (resident_requested_.count(ep) != 0) return;
   if (draining_.count(ep) != 0) return;  // being torn down: don't reload
   resident_requested_.insert(ep);
-  ++stats_.remap_requests;
+  counters_.remap_requests.inc();
   ++lamport_;
   if (on_nic_request) {
     on_nic_request(NicRequest{NicRequest::Kind::kMakeResident, ep, lamport_});
@@ -1067,7 +1140,7 @@ void Nic::return_to_sender(EndpointState& ep, std::uint64_t msg_id,
   desc->returned = true;
   abort_descriptor(ep, msg_id);
   ++ep.msgs_returned;
-  ++stats_.returned_to_sender;
+  counters_.returned_to_sender.inc();
   sweep_send_queue(ep);
   if (ep.on_return_to_sender) ep.on_return_to_sender(std::move(copy), reason);
   if (ep.on_send_progress) ep.on_send_progress();

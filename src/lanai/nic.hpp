@@ -51,6 +51,10 @@ struct NicRequest {
   std::uint64_t lamport = 0;
 };
 
+/// Plain-value snapshot of one NIC's counters, materialized on demand by
+/// Nic::stats(). Deprecated shim kept for one PR: the counters live in the
+/// engine's obs::MetricsRegistry under "host.<node>.nic." — new code should
+/// snapshot the registry instead (see obs/metrics.hpp).
 struct NicStats {
   std::uint64_t data_sent = 0;
   std::uint64_t data_received = 0;
@@ -74,6 +78,21 @@ struct NicStats {
   std::uint64_t frames_unloaded = 0;
   std::uint64_t acks_piggybacked = 0;  ///< acks carried on data frames
   std::uint64_t piggy_flushes = 0;     ///< standalone flushes of pending acks
+};
+
+/// Registry-backed counter handles the firmware bumps on the hot path.
+/// Field names double as the metric leaf names under "host.<node>.nic.".
+struct NicCounters {
+  obs::Counter data_sent, data_received, acks_sent, acks_received, nacks_sent,
+      nacks_received, retransmissions, timeouts, channel_unbinds,
+      returned_to_sender, crc_drops, gam_drops, duplicates_suppressed,
+      local_deliveries, remap_requests, driver_ops, msgs_completed,
+      frames_loaded, frames_unloaded, acks_piggybacked, piggy_flushes;
+  obs::Counter nacks_sent_by_reason[8];
+  /// Transport round-trip samples (ack echo), in nanoseconds.
+  obs::Histogram rtt_ns;
+
+  void register_with(obs::MetricsRegistry& reg, const std::string& prefix);
 };
 
 /// The simulated LANai network interface.
@@ -103,7 +122,10 @@ class Nic {
   NodeId node() const { return node_; }
   const NicConfig& config() const { return config_; }
   SbusDma& sbus() { return sbus_; }
-  const NicStats& stats() const { return stats_; }
+
+  /// Value snapshot of this NIC's registry counters (deprecated shim; see
+  /// NicStats).
+  NicStats stats() const;
 
   /// 32-bit NIC clock (~1 us granularity), stamped into link headers and
   /// echoed by acknowledgments (§5.1).
@@ -316,7 +338,7 @@ class Nic {
   std::uint32_t epoch_base_ = 1;
   std::uint64_t next_packet_id_ = 1;
   sim::Rng rng_;
-  NicStats stats_;
+  NicCounters counters_;
   bool started_ = false;
 };
 

@@ -2,18 +2,38 @@
 
 #include <algorithm>
 #include <cassert>
-#include <iomanip>
-#include <ostream>
 #include <stdexcept>
 
 namespace vnet::myrinet {
 
+Fabric::~Fabric() { engine_->metrics().remove_fn_prefix("fabric."); }
+
 Channel* Fabric::new_channel(std::string label) {
   channels_.push_back(std::make_unique<Channel>(*engine_, params_.link));
+  const std::string prefix = "fabric.link." + label;
   channel_labels_.push_back(std::move(label));
   Channel* c = channels_.back().get();
+  // Channels keep their own tally members (the hot path stays handle-free);
+  // the registry samples them lazily at snapshot time.
+  obs::MetricsRegistry& reg = engine_->metrics();
+  reg.counter_fn(prefix + ".packets_tx", [c] { return c->packets_sent(); });
+  reg.counter_fn(prefix + ".bytes_tx", [c] { return c->bytes_sent(); });
+  reg.counter_fn(prefix + ".drops_down", [c] { return c->dropped_down(); });
+  reg.counter_fn(prefix + ".drops_fault", [c] { return c->dropped_fault(); });
   install_fault_filter(c);
   return c;
+}
+
+void Fabric::register_metrics() {
+  obs::MetricsRegistry& reg = engine_->metrics();
+  reg.counter_fn("fabric.injected_drops", [this] { return injected_drops_; });
+  reg.counter_fn("fabric.injected_corruptions",
+                 [this] { return injected_corruptions_; });
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    Switch* sw = switches_[i].get();
+    reg.gauge_fn("fabric.switch." + std::to_string(i) + ".queue_watermark",
+                 [sw] { return static_cast<double>(sw->high_watermark()); });
+  }
 }
 
 void Fabric::install_fault_filter(Channel* c) {
@@ -71,6 +91,7 @@ std::unique_ptr<Fabric> Fabric::crossbar(sim::Engine& engine, int hosts,
     fabric->host_links_.push_back({up, down});
   }
 
+  fabric->register_metrics();
   fabric->build_route_table();
   return fabric;
 }
@@ -134,6 +155,7 @@ std::unique_ptr<Fabric> Fabric::fat_tree(sim::Engine& engine, int hosts,
     }
   }
 
+  fabric->register_metrics();
   fabric->build_route_table();
   return fabric;
 }
@@ -208,17 +230,6 @@ std::vector<LinkStats> Fabric::link_stats(bool active_only) const {
                    c.dropped_down(), c.dropped_fault()});
   }
   return out;
-}
-
-void Fabric::dump_link_stats(std::ostream& os, bool active_only) const {
-  os << std::left << std::setw(18) << "link" << std::right << std::setw(10)
-     << "packets" << std::setw(12) << "bytes" << std::setw(10) << "drop/down"
-     << std::setw(11) << "drop/fault" << '\n';
-  for (const auto& s : link_stats(active_only)) {
-    os << std::left << std::setw(18) << s.label << std::right << std::setw(10)
-       << s.packets_sent << std::setw(12) << s.bytes_sent << std::setw(10)
-       << s.dropped_down << std::setw(11) << s.dropped_fault << '\n';
-  }
 }
 
 std::uint64_t Fabric::total_dropped_down() const {

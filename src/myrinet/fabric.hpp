@@ -2,7 +2,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -55,7 +54,10 @@ struct FabricParams {
   FaultParams faults;
 };
 
-/// Per-link-direction statistics snapshot for the chaos campaign report.
+/// Deprecated shim kept for one PR: per-link-direction statistics snapshot.
+/// New code should snapshot the engine's metric registry instead; per-link
+/// counters live under `fabric.link.<label>.*` and render with
+/// `obs::render_table(snapshot, "fabric.link")`.
 struct LinkStats {
   std::string label;
   std::uint64_t packets_sent = 0;
@@ -87,6 +89,10 @@ class Fabric {
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
+
+  /// Unregisters the fabric's pull-style metrics (per-link counters, switch
+  /// watermarks) from the engine's registry; the engine outlives the fabric.
+  ~Fabric();
 
   int num_hosts() const { return static_cast<int>(stations_.size()); }
   int num_switches() const { return static_cast<int>(switches_.size()); }
@@ -131,10 +137,9 @@ class Fabric {
   std::uint64_t injected_corruptions() const { return injected_corruptions_; }
 
   /// Per-link stats snapshot; with `active_only`, links that never carried
-  /// or dropped a packet are omitted.
+  /// or dropped a packet are omitted. Deprecated shim kept for one PR —
+  /// see LinkStats.
   std::vector<LinkStats> link_stats(bool active_only = true) const;
-  /// Human-readable table of link_stats(), for the campaign report.
-  void dump_link_stats(std::ostream& os, bool active_only = true) const;
   std::uint64_t total_dropped_down() const;
   std::uint64_t total_dropped_fault() const;
 
@@ -153,6 +158,7 @@ class Fabric {
 
   Channel* new_channel(std::string label);
   void install_fault_filter(Channel* c);
+  void register_metrics();
   void build_route_table();
 
   // Topology-specific route enumeration.

@@ -66,6 +66,12 @@ class Station {
     rx_ = rx;
     rx_->on_deliver = [this](Packet p) {
       ++packets_received_;
+      // One span per packet, injection -> delivery, on the receiver's row.
+      VNET_TRACE_COMPLETE(engine_->tracer(), "wire", "packet",
+                          static_cast<std::int64_t>(p.injected_at),
+                          static_cast<int>(id_), 1,
+                          {{"src", static_cast<std::int64_t>(p.src)},
+                           {"bytes", static_cast<std::int64_t>(p.wire_bytes)}});
       rx_->release_credit();
       if (on_receive) on_receive(std::move(p));
     };

@@ -1,0 +1,152 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace vnet::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_us(std::string& out, std::int64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000 < 0 ? -(ns % 1000)
+                                                     : ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+void Tracer::instant(const char* cat, std::string name, int pid, int tid,
+                     Args args) {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.ph = 'i';
+  e.ts_ns = now();
+  e.pid = pid;
+  e.tid = tid;
+  e.cat = cat;
+  e.name = std::move(name);
+  e.args.assign(args.begin(), args.end());
+  events_.push_back(std::move(e));
+}
+
+void Tracer::complete(const char* cat, std::string name, std::int64_t start_ns,
+                      int pid, int tid, Args args) {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.ph = 'X';
+  e.ts_ns = start_ns;
+  e.dur_ns = now() - start_ns;
+  if (e.dur_ns < 0) e.dur_ns = 0;
+  e.pid = pid;
+  e.tid = tid;
+  e.cat = cat;
+  e.name = std::move(name);
+  e.args.assign(args.begin(), args.end());
+  events_.push_back(std::move(e));
+}
+
+void Tracer::set_process_name(int pid, std::string name) {
+  meta_.push_back({pid, 0, false, std::move(name)});
+}
+
+void Tracer::set_thread_name(int pid, int tid, std::string name) {
+  meta_.push_back({pid, tid, true, std::move(name)});
+}
+
+void Tracer::clear() {
+  events_.clear();
+  meta_.clear();
+}
+
+std::string Tracer::chrome_trace_json() const {
+  std::string out;
+  out.reserve(events_.size() * 96 + 64);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  char buf[64];
+  for (const Meta& m : meta_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"M\",\"name\":\"";
+    out += m.thread ? "thread_name" : "process_name";
+    out += "\",\"pid\":";
+    std::snprintf(buf, sizeof(buf), "%d,\"tid\":%d", m.pid, m.tid);
+    out += buf;
+    out += ",\"args\":{\"name\":\"";
+    append_escaped(out, m.name);
+    out += "\"}}";
+  }
+  for (const TraceEvent& e : events_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"";
+    out += e.ph;
+    out += "\",\"name\":\"";
+    append_escaped(out, e.name);
+    out += "\",\"cat\":\"";
+    append_escaped(out, e.cat);
+    out += "\",\"ts\":";
+    append_us(out, e.ts_ns);
+    if (e.ph == 'X') {
+      out += ",\"dur\":";
+      append_us(out, e.dur_ns);
+    }
+    if (e.ph == 'i') out += ",\"s\":\"t\"";
+    std::snprintf(buf, sizeof(buf), ",\"pid\":%d,\"tid\":%d", e.pid, e.tid);
+    out += buf;
+    if (!e.args.empty()) {
+      out += ",\"args\":{";
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) out += ',';
+        out += '"';
+        append_escaped(out, e.args[i].key);
+        out += "\":";
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(e.args[i].value));
+        out += buf;
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ns\"}";
+  return out;
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  os << chrome_trace_json();
+}
+
+}  // namespace vnet::obs

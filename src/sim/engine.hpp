@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <unordered_set>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
@@ -25,7 +27,17 @@ class Process;
 /// Single-threaded by design: a cluster simulation is one logical timeline.
 class Engine {
  public:
-  explicit Engine(std::uint64_t seed = 1) : rng_(seed) {}
+  explicit Engine(std::uint64_t seed = 1) : rng_(seed) {
+    tracer_.set_clock([this] { return static_cast<std::int64_t>(now_); });
+    metrics_.counter_fn("sim.events_processed",
+                        [this] { return events_processed_; });
+    metrics_.gauge_fn("sim.pending_events", [this] {
+      return static_cast<double>(queue_.size());
+    });
+    metrics_.gauge_fn("sim.live_processes", [this] {
+      return static_cast<double>(processes_.size());
+    });
+  }
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -95,6 +107,18 @@ class Engine {
   /// once via rng().split() rather than drawing from this repeatedly.
   Rng& rng() { return rng_; }
 
+  /// The simulation-wide metric namespace (see obs/metrics.hpp). Components
+  /// register counters here under hierarchical names at construction.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
+  /// All metric values at the current simulated time.
+  obs::Snapshot snapshot() const {
+    return metrics_.snapshot(static_cast<std::int64_t>(now_));
+  }
+
+  /// Simulated-time tracer; its clock is this engine's clock.
+  obs::Tracer& tracer() { return tracer_; }
+
   std::size_t pending_events() const { return queue_.size(); }
   std::size_t live_processes() const { return processes_.size(); }
   std::uint64_t events_processed() const { return events_processed_; }
@@ -113,6 +137,8 @@ class Engine {
   Time now_ = 0;
   EventQueue queue_;
   Rng rng_;
+  obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_;
   std::unordered_set<void*> processes_;
   std::uint64_t events_processed_ = 0;
 };

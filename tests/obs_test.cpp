@@ -1,0 +1,494 @@
+// Unit tests for the vnet::obs observability layer: metric registration /
+// snapshot / diff semantics, histogram quantiles, table rendering, trace
+// export (round-tripped through a JSON parser), the compile-out guarantee
+// of the VNET_TRACE_* macros, and whole-stack determinism (same seed =>
+// identical snapshots and traces).
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "am/endpoint.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/config.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace vnet::obs {
+namespace {
+
+// ------------------------------------------------------------ registry
+
+TEST(Metrics, CounterRegistrationIsIdempotent) {
+  MetricsRegistry reg;
+  Counter a = reg.counter("host.0.nic.retransmissions");
+  Counter b = reg.counter("host.0.nic.retransmissions");
+  a.inc();
+  b.inc(2);
+  // Same name => same cell: both handles see the combined count.
+  EXPECT_EQ(a.value(), 3u);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(reg.snapshot().counter("host.0.nic.retransmissions"), 3u);
+}
+
+TEST(Metrics, UnboundHandlesAreNoOps) {
+  Counter c;
+  Gauge g;
+  Histogram h;
+  c.inc();
+  g.set(5.0);
+  h.record(1.0);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Metrics, SnapshotAndDiff) {
+  MetricsRegistry reg;
+  Counter c = reg.counter("a.events");
+  Gauge g = reg.gauge("a.level");
+  c.inc(10);
+  g.set(3.0);
+  const Snapshot before = reg.snapshot(1000);
+  c.inc(7);
+  g.set(9.0);
+  const Snapshot after = reg.snapshot(2500);
+
+  const Snapshot d = diff(after, before);
+  EXPECT_EQ(d.at_ns, 1500);
+  EXPECT_EQ(d.counter("a.events"), 7u);   // counters subtract
+  EXPECT_EQ(d.gauge("a.level"), 9.0);     // gauges keep the newer level
+  EXPECT_EQ(d.counter("missing"), 0u);
+}
+
+TEST(Metrics, SumCountersByPrefixAndSuffix) {
+  MetricsRegistry reg;
+  reg.counter("host.0.nic.retransmissions").inc(2);
+  reg.counter("host.1.nic.retransmissions").inc(3);
+  reg.counter("host.1.nic.timeouts").inc(100);
+  reg.counter("fabric.link.a.retransmissions").inc(50);
+  const Snapshot s = reg.snapshot();
+  EXPECT_EQ(s.sum_counters("host.", ".nic.retransmissions"), 5u);
+  EXPECT_EQ(s.sum_counters("host."), 105u);
+  EXPECT_EQ(s.sum_counters("", ".retransmissions"), 55u);
+}
+
+TEST(Metrics, PullCallbacksAndRemoval) {
+  MetricsRegistry reg;
+  std::uint64_t external = 42;
+  reg.counter_fn("fabric.link.x.packets_tx", [&] { return external; });
+  reg.gauge_fn("fabric.switch.0.queue_watermark", [] { return 7.0; });
+  Snapshot s = reg.snapshot();
+  EXPECT_EQ(s.counter("fabric.link.x.packets_tx"), 42u);
+  EXPECT_EQ(s.gauge("fabric.switch.0.queue_watermark"), 7.0);
+
+  external = 50;
+  EXPECT_EQ(reg.snapshot().counter("fabric.link.x.packets_tx"), 50u);
+
+  // After removal the callbacks are gone (and never again sampled — the
+  // component they read from may be destroyed).
+  reg.remove_fn_prefix("fabric.");
+  s = reg.snapshot();
+  EXPECT_EQ(s.counters.count("fabric.link.x.packets_tx"), 0u);
+  EXPECT_EQ(s.gauges.count("fabric.switch.0.queue_watermark"), 0u);
+}
+
+// ----------------------------------------------------------- histogram
+
+TEST(Metrics, HistogramStatsAndQuantiles) {
+  MetricsRegistry reg;
+  Histogram h = reg.histogram("host.0.nic.rtt_ns");
+  for (int i = 0; i < 100; ++i) h.record(8.0);
+  const Snapshot s = reg.snapshot();
+  const HistogramData* d = s.histogram("host.0.nic.rtt_ns");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->count, 100u);
+  EXPECT_DOUBLE_EQ(d->mean(), 8.0);
+  EXPECT_DOUBLE_EQ(d->min_seen, 8.0);
+  EXPECT_DOUBLE_EQ(d->max_seen, 8.0);
+  // 8.0 lands in bucket [8,16); the quantile reports the bucket midpoint.
+  EXPECT_DOUBLE_EQ(d->quantile(0.5), 12.0);
+  EXPECT_DOUBLE_EQ(d->quantile(0.99), 12.0);
+}
+
+TEST(Metrics, HistogramQuantileOrdersBuckets) {
+  HistogramData d;
+  for (int i = 0; i < 90; ++i) d.record(2.0);    // bucket [2,4) -> mid 3
+  for (int i = 0; i < 10; ++i) d.record(1000.0);  // bucket [512,1024)
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 3.0);
+  EXPECT_GT(d.quantile(0.95), 500.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.0), 3.0);
+}
+
+TEST(Metrics, HistogramDiffSubtractsCounts) {
+  MetricsRegistry reg;
+  Histogram h = reg.histogram("x");
+  h.record(4.0);
+  h.record(4.0);
+  const Snapshot before = reg.snapshot();
+  h.record(4.0);
+  const Snapshot after = reg.snapshot();
+  const Snapshot d = diff(after, before);
+  const HistogramData* hd = d.histogram("x");
+  ASSERT_NE(hd, nullptr);
+  EXPECT_EQ(hd->count, 1u);
+  EXPECT_DOUBLE_EQ(hd->sum, 4.0);
+}
+
+// ---------------------------------------------------------- render_table
+
+TEST(Metrics, RenderTablePivotsRowsAndColumns) {
+  MetricsRegistry reg;
+  reg.counter("fabric.link.h0->sw.packets_tx").inc(12);
+  reg.counter("fabric.link.h0->sw.drops_down").inc(0);
+  reg.counter("fabric.link.sw->h0.packets_tx").inc(9);
+  reg.counter("fabric.link.idle.packets_tx");  // all-zero row
+  const std::string table = render_table(reg.snapshot(), "fabric.link");
+
+  EXPECT_NE(table.find("packets_tx"), std::string::npos);  // column header
+  EXPECT_NE(table.find("h0->sw"), std::string::npos);      // row label
+  EXPECT_NE(table.find("12"), std::string::npos);
+  EXPECT_EQ(table.find("idle"), std::string::npos);  // zero row skipped
+
+  const std::string all = render_table(reg.snapshot(), "fabric.link",
+                                       /*skip_zero_rows=*/false);
+  EXPECT_NE(all.find("idle"), std::string::npos);
+}
+
+// --------------------------------------------------- minimal JSON parser
+//
+// Enough of RFC 8259 to round-trip the exporter's output: validates the
+// whole document and records the size of the top-level "traceEvents" array.
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string s) : s_(std::move(s)) {}
+
+  bool parse() {
+    skip_ws();
+    if (!value(/*depth=*/0)) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+  int trace_events() const { return trace_events_; }
+
+ private:
+  bool value(int depth) {
+    if (depth > 64 || pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return object(depth);
+      case '[':
+        return array(depth, nullptr);
+      case '"':
+        return string(nullptr);
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  bool object(int depth) {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') return ++pos_, true;
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!string(&key)) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (depth == 0 && key == "traceEvents" && peek() == '[') {
+        int n = 0;
+        if (!array(depth + 1, &n)) return false;
+        trace_events_ = n;
+      } else {
+        if (!value(depth + 1)) return false;
+      }
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') return ++pos_, true;
+      return false;
+    }
+  }
+
+  bool array(int depth, int* count) {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') return ++pos_, true;
+    for (;;) {
+      skip_ws();
+      if (!value(depth + 1)) return false;
+      if (count != nullptr) ++*count;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') return ++pos_, true;
+      return false;
+    }
+  }
+
+  bool string(std::string* out) {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        if (pos_ + 1 >= s_.size()) return false;
+        pos_ += 2;
+        continue;
+      }
+      if (out != nullptr) out->push_back(s_[pos_]);
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* lit) {
+    const std::string_view want(lit);
+    if (s_.compare(pos_, want.size(), want) != 0) return false;
+    pos_ += want.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string s_;
+  std::size_t pos_ = 0;
+  int trace_events_ = 0;
+};
+
+// -------------------------------------------------------------- tracer
+
+TEST(Trace, ExportRoundTripsThroughJsonParse) {
+  Tracer tr;
+  std::int64_t t = 0;
+  tr.set_clock([&] { return t; });
+  tr.set_enabled(true);
+  tr.set_process_name(0, "node 0");
+  tr.set_thread_name(0, 1, "wire \"rx\"\n");  // exercise escaping
+
+  t = 1500;
+  tr.instant("endpoint", "ep_load", 0, 0, {{"ep", 3}, {"frame", -1}});
+  t = 4750;
+  tr.complete("wire", "packet", 1500, 0, 1, {{"bytes", 4096}});
+
+  ASSERT_EQ(tr.events().size(), 2u);
+  EXPECT_EQ(tr.events()[0].ph, 'i');
+  EXPECT_EQ(tr.events()[1].ph, 'X');
+  EXPECT_EQ(tr.events()[1].dur_ns, 3250);
+
+  const std::string json = tr.chrome_trace_json();
+  JsonParser p(json);
+  ASSERT_TRUE(p.parse()) << json;
+  // 2 metadata events (process_name, thread_name) + 2 recorded events.
+  EXPECT_EQ(p.trace_events(), 4);
+  // Sub-microsecond times survive as fractional microseconds.
+  EXPECT_NE(json.find("1.500"), std::string::npos);
+}
+
+TEST(Trace, DisabledTracerRecordsNothing) {
+  Tracer tr;
+  tr.instant("cat", "x");
+  tr.complete("cat", "y", 0);
+  EXPECT_TRUE(tr.events().empty());
+  JsonParser p(tr.chrome_trace_json());
+  EXPECT_TRUE(p.parse());
+  EXPECT_EQ(p.trace_events(), 0);
+}
+
+// The compile-out guarantee: with VNET_TRACING=OFF the macros expand to
+// ((void)0) and must not evaluate their arguments, let alone record; with
+// it ON a disabled tracer must also skip argument evaluation.
+TEST(Trace, MacroCompileConfigIsZeroCost) {
+  Tracer tr;
+  int evaluations = 0;
+  // [[maybe_unused]]: with tracing compiled out the macros discard their
+  // arguments, so nothing references the lambda.
+  [[maybe_unused]] auto arg = [&]() -> std::int64_t { return ++evaluations; };
+
+  tr.set_enabled(false);
+  VNET_TRACE_INSTANT(tr, "cat", "off", 0, 0, {{"v", arg()}});
+  EXPECT_EQ(evaluations, 0);  // both configs: disabled => unevaluated
+  EXPECT_TRUE(tr.events().empty());
+
+  tr.set_enabled(true);
+  VNET_TRACE_INSTANT(tr, "cat", "on", 0, 0, {{"v", arg()}});
+  VNET_TRACE_COMPLETE(tr, "cat", "span", 0, 0, 0);
+#if VNET_OBS_TRACING
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_EQ(tr.events().size(), 2u);
+#else
+  // Compiled out: nothing is evaluated or recorded even when enabled.
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_TRUE(tr.events().empty());
+#endif
+}
+
+// ----------------------------------------------- whole-stack integration
+
+struct RunArtifacts {
+  std::map<std::string, std::uint64_t> counters;
+  std::string trace_json;
+  std::uint64_t handled = 0;
+};
+
+// A 2-node request/reply workload with tracing on; returns everything an
+// identical run must reproduce exactly.
+RunArtifacts traced_ping_pong() {
+  RunArtifacts out;
+  cluster::Cluster cl(cluster::NowConfig(2));
+  cl.engine().tracer().set_enabled(true);
+
+  struct Shared {
+    am::Name server;
+    std::uint64_t got_request = 0;
+    std::uint64_t got_reply = 0;
+  };
+  auto sh = std::make_shared<Shared>();
+
+  cl.spawn_thread(1, "server", [sh](host::HostThread& t) -> sim::Task<> {
+    auto ep = co_await am::Endpoint::create(t, 0xbeef);
+    ep->set_handler(1, [sh](am::Endpoint&, const am::Message& m) {
+      sh->got_request = m.arg(0);
+      m.reply(2, {m.arg(0) + 1});
+    });
+    sh->server = ep->name();
+    while (sh->got_request == 0) {
+      co_await ep->wait(t);
+      co_await ep->poll(t);
+    }
+    co_await t.sleep(1 * sim::ms);
+    co_await ep->destroy(t);
+  });
+
+  cl.spawn_thread(0, "client", [sh](host::HostThread& t) -> sim::Task<> {
+    auto ep = co_await am::Endpoint::create(t, 0xcafe);
+    ep->set_handler(2, [sh](am::Endpoint&, const am::Message& m) {
+      sh->got_reply = m.arg(0);
+    });
+    while (!sh->server.valid()) co_await t.sleep(10 * sim::us);
+    ep->map(0, sh->server);
+    co_await ep->request(t, 0, 1, 41);
+    while (sh->got_reply == 0) co_await ep->poll(t);
+    co_await ep->destroy(t);
+  });
+
+  cl.run_to_completion();
+  const Snapshot snap = cl.engine().snapshot();
+  out.counters = snap.counters;
+  out.trace_json = cl.engine().tracer().chrome_trace_json();
+  out.handled = snap.sum_counters("host.", ".messages_handled");
+  return out;
+}
+
+TEST(ObsIntegration, RegistrySeesWholeStackAndStatsShimsAgree) {
+  cluster::Cluster cl(cluster::NowConfig(2));
+
+  struct Shared {
+    am::Name server;
+    std::uint64_t got_request = 0;
+    std::uint64_t got_reply = 0;
+  };
+  auto sh = std::make_shared<Shared>();
+
+  cl.spawn_thread(1, "server", [sh](host::HostThread& t) -> sim::Task<> {
+    auto ep = co_await am::Endpoint::create(t, 1);
+    ep->set_handler(1, [sh](am::Endpoint&, const am::Message& m) {
+      sh->got_request = m.arg(0);
+      m.reply(2, {m.arg(0) + 1});
+    });
+    sh->server = ep->name();
+    while (sh->got_request == 0) {
+      co_await ep->wait(t);
+      co_await ep->poll(t);
+    }
+    co_await t.sleep(1 * sim::ms);
+    co_await ep->destroy(t);
+  });
+  cl.spawn_thread(0, "client", [sh](host::HostThread& t) -> sim::Task<> {
+    auto ep = co_await am::Endpoint::create(t, 2);
+    ep->set_handler(2, [sh](am::Endpoint&, const am::Message& m) {
+      sh->got_reply = m.arg(0);
+    });
+    while (!sh->server.valid()) co_await t.sleep(10 * sim::us);
+    ep->map(0, sh->server);
+    co_await ep->request(t, 0, 1, 41);
+    while (sh->got_reply == 0) co_await ep->poll(t);
+
+    // The deprecated value shim and the registry must agree exactly.
+    const Snapshot snap = t.engine().snapshot();
+    const std::string prefix =
+        "host.0.ep." + std::to_string(ep->name().ep) + ".";
+    EXPECT_EQ(ep->stats().requests_sent,
+              snap.counter(prefix + "requests_sent"));
+    EXPECT_EQ(ep->stats().messages_handled,
+              snap.counter(prefix + "messages_handled"));
+    EXPECT_EQ(t.host().nic().stats().data_sent,
+              snap.counter("host.0.nic.data_sent"));
+    EXPECT_EQ(t.host().driver().stats().remaps,
+              snap.counter("host.0.driver.remaps"));
+    co_await ep->destroy(t);
+  });
+
+  cl.run_to_completion();
+  const Snapshot snap = cl.engine().snapshot();
+  EXPECT_GE(snap.sum_counters("host.", ".requests_sent"), 1u);
+  EXPECT_GE(snap.sum_counters("fabric.link.", ".packets_tx"), 1u);
+  EXPECT_GE(snap.counter("sim.events_processed"), 1u);
+  EXPECT_GE(snap.counter("host.0.driver.endpoints_created"), 1u);
+}
+
+TEST(ObsIntegration, SameSeedRunsProduceIdenticalSnapshotsAndTraces) {
+  const RunArtifacts a = traced_ping_pong();
+  const RunArtifacts b = traced_ping_pong();
+  EXPECT_EQ(a.handled, b.handled);
+  EXPECT_GT(a.handled, 0u);
+  EXPECT_EQ(a.counters, b.counters);
+  EXPECT_EQ(a.trace_json, b.trace_json);
+
+  JsonParser p(a.trace_json);
+  ASSERT_TRUE(p.parse());
+#if VNET_OBS_TRACING
+  EXPECT_GT(p.trace_events(), 0);
+#endif
+}
+
+}  // namespace
+}  // namespace vnet::obs
