@@ -68,7 +68,7 @@ Result run_vn(int n, int rounds) {
   }
   Result res;
   res.seconds = sim::to_sec(cl.run_to_completion());
-  res.remaps_node0 = cl.host(0).driver().stats().remaps;
+  res.remaps_node0 = cl.engine().snapshot().counter("host.0.driver.remaps");
   return res;
 }
 
@@ -128,7 +128,7 @@ Result run_via(int n, int rounds) {
   }
   Result res;
   res.seconds = sim::to_sec(cl.run_to_completion());
-  res.remaps_node0 = cl.host(0).driver().stats().remaps;
+  res.remaps_node0 = cl.engine().snapshot().counter("host.0.driver.remaps");
   return res;
 }
 

@@ -1,0 +1,124 @@
+// Attribution overhead: wall-clock cost of the per-message flight recorder
+// (obs/attr.hpp) at sampling intervals 0 (off), 64 (1 in 64 messages), and
+// 1 (every message), over an identical ping-pong + stream workload.
+// Simulated results are identical across rates (stamping takes no simulated
+// time); only the simulator's real elapsed time changes. Numbers go into
+// EXPERIMENTS.md.
+//
+// Usage: bench_attr_overhead [--reps N] [--pingpongs N] [--stream N]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "am/endpoint.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/config.hpp"
+#include "obs/attr.hpp"
+
+namespace {
+
+using namespace vnet;
+
+struct Shared {
+  am::Name server;
+  std::uint64_t pongs = 0;
+  std::uint64_t handled = 0;
+};
+
+// One fixed workload: `pingpongs` request/reply round trips with a single
+// outstanding message, then a `stream`-message one-way burst.
+void run_workload(unsigned attr_interval, int pingpongs, int stream) {
+  cluster::Cluster cl(cluster::NowConfig(2));
+  cl.engine().attr().set_sample_interval(attr_interval);
+  auto sh = std::make_shared<Shared>();
+
+  cl.spawn_thread(1, "server", [sh, pingpongs,
+                                stream](host::HostThread& t) -> sim::Task<> {
+    auto ep = co_await am::Endpoint::create(t, 0x5e11);
+    ep->set_handler(1, [sh](am::Endpoint&, const am::Message& m) {
+      ++sh->handled;
+      m.reply(2, {m.arg(0)});
+    });
+    ep->set_handler(3, [sh](am::Endpoint&, const am::Message&) {
+      ++sh->handled;
+    });
+    sh->server = ep->name();
+    const auto expected = static_cast<std::uint64_t>(pingpongs + stream);
+    while (sh->handled < expected) {
+      if (co_await ep->poll(t, 16) == 0) co_await t.compute(100);
+    }
+    co_await t.sleep(2 * sim::ms);
+    co_await ep->destroy(t);
+  });
+
+  cl.spawn_thread(0, "client", [sh, pingpongs,
+                                stream](host::HostThread& t) -> sim::Task<> {
+    auto ep = co_await am::Endpoint::create(t, 0xc11e);
+    ep->set_handler(2, [sh](am::Endpoint&, const am::Message&) {
+      ++sh->pongs;
+    });
+    while (!sh->server.valid()) co_await t.sleep(10 * sim::us);
+    ep->map(0, sh->server);
+    for (int i = 0; i < pingpongs; ++i) {
+      co_await ep->request(t, 0, 1, 1);
+      const std::uint64_t want = static_cast<std::uint64_t>(i) + 1;
+      while (sh->pongs < want) co_await ep->poll(t, 4);
+    }
+    for (int i = 0; i < stream; ++i) {
+      co_await ep->request(t, 0, 3, static_cast<std::uint64_t>(i));
+    }
+    while (ep->credits_in_use() > 0) co_await ep->poll(t, 16);
+    co_await ep->destroy(t);
+  });
+
+  cl.run_to_completion();
+}
+
+double best_of(unsigned interval, int reps, int pingpongs, int stream) {
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    run_workload(interval, pingpongs, stream);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int reps = 3, pingpongs = 300, stream = 5000;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--reps") && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--pingpongs") && i + 1 < argc) {
+      pingpongs = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--stream") && i + 1 < argc) {
+      stream = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--reps N] [--pingpongs N] [--stream N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("attribution overhead: %d ping-pongs + %d stream msgs, "
+              "best of %d reps\n",
+              pingpongs, stream, reps);
+  const double off = best_of(0, reps, pingpongs, stream);
+  const double sparse = best_of(64, reps, pingpongs, stream);
+  const double all = best_of(1, reps, pingpongs, stream);
+  std::printf("%-22s %10s %8s\n", "sample interval", "wall (ms)", "vs off");
+  std::printf("%-22s %10.1f %8s\n", "0 (disabled)", off, "1.00x");
+  std::printf("%-22s %10.1f %7.2fx\n", "64 (1 in 64)", sparse,
+              off > 0 ? sparse / off : 0.0);
+  std::printf("%-22s %10.1f %7.2fx\n", "1 (every message)", all,
+              off > 0 ? all / off : 0.0);
+  return 0;
+}

@@ -61,6 +61,7 @@ int main(int argc, char** argv) {
 
   int total_violations = 0;
   std::vector<chaos::ScenarioResult> flagged;
+  std::vector<chaos::ScenarioResult> stalled;
   for (const std::string& name : chaos::standard_scenario_names()) {
     if (!only.empty() && name != only) continue;
     for (int s = 0; s < seeds; ++s) {
@@ -70,7 +71,17 @@ int main(int argc, char** argv) {
       std::printf("%s\n", chaos::result_table_row(res).c_str());
       total_violations += static_cast<int>(res.violations.size());
       if (!res.violations.empty()) flagged.push_back(res);
+      if (!res.watchdog_events.empty()) stalled.push_back(res);
     }
+  }
+
+  // Stalls are expected while a fault is in force (that is the point of the
+  // watchdog: it names the quiet component); they are a report, not a
+  // violation.
+  for (const auto& res : stalled) {
+    std::printf("\n%s seed %llu stall report:\n%s", res.name.c_str(),
+                static_cast<unsigned long long>(res.seed),
+                res.watchdog_summary.c_str());
   }
 
   for (const auto& res : flagged) {

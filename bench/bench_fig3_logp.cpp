@@ -4,7 +4,14 @@
 // Paper (PPoPP'99 §6.1): virtualization raises the round-trip time by 23%
 // and the gap by 2.21x while total per-packet overhead (o_s + o_r) stays
 // the same; defensive checks contribute ~1.1us to L and g.
+//
+// The attribution section re-runs the AM ping-pongs (no streaming phase)
+// with the flight recorder tracking every message and prints the per-stage
+// decomposition of the one-way latency; the stage sums must reconcile with
+// the measured RTT — each round trip is two one-way flights (request +
+// reply) — within a few percent.
 
+#include <cmath>
 #include <cstdio>
 
 #include "apps/logp.hpp"
@@ -38,5 +45,23 @@ int main() {
               "(paper: ~1.1us each)\n",
               nodef.l_us, am.l_us - nodef.l_us, nodef.g_us,
               am.g_us - nodef.g_us);
+
+  // --- per-stage LogP attribution (pure ping-pong, every flight tracked) ---
+  const apps::LogpResult attr = apps::measure_logp(
+      cluster::NowConfig(2), /*pingpongs=*/300, /*stream=*/0,
+      /*attribute=*/true);
+  std::printf("\nAM one-way latency attribution (300 ping-pongs, "
+              "stage boundaries of obs/attr.hpp):\n%s",
+              attr.attr_report.c_str());
+  const double two_way = 2.0 * attr.attr_e2e_us;
+  const double delta_pct =
+      attr.rtt_us > 0 ? 100.0 * (two_way - attr.rtt_us) / attr.rtt_us : 0.0;
+  std::printf("2 x e2e mean %.2fus vs measured RTT %.2fus (delta %+.2f%%)\n",
+              two_way, attr.rtt_us, delta_pct);
+  if (std::fabs(delta_pct) > 5.0) {
+    std::printf("ATTRIBUTION MISMATCH: stage decomposition does not "
+                "reconcile with the measured round trip\n");
+    return 1;
+  }
   return 0;
 }

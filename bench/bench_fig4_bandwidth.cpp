@@ -5,21 +5,41 @@
 // of the 46.8 MB/s SBUS write-DMA limit; GAM delivered 38 MB/s; round-trip
 // time fits RTT(n) = 0.1112 n + 61.02 us (R^2 = 0.99); N_1/2 ~ 540 B.
 
+// With `--csv PATH` the AM run also drives the periodic registry sampler
+// (obs/sampler.hpp) every 100us of simulated time and writes the
+// time-series CSV to PATH; scripts/plot_timeseries.py regenerates the
+// bandwidth-vs-size curve from it with no code changes.
+
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "apps/bandwidth.hpp"
 #include "cluster/config.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vnet;
+  std::string csv_path;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--csv") && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--csv PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
   const std::vector<std::uint32_t> sizes = {128,  256,  512,  1024,
                                             2048, 4096, 6144, 8192};
   std::printf("Figure 4: transfer bandwidth vs message size (2 nodes)\n");
 
   auto am_cfg = cluster::NowConfig(2);
   auto gam_cfg = cluster::GamConfig(2);
-  const auto am = apps::measure_bandwidth(am_cfg, sizes);
+  const sim::Duration sample_period =
+      csv_path.empty() ? 0 : 100 * sim::us;
+  const auto am =
+      apps::measure_bandwidth(am_cfg, sizes, 160, 30, sample_period);
   const auto gam = apps::measure_bandwidth(gam_cfg, sizes);
 
   // Hardware reference: pure SBUS DMA rate for the same block sizes.
@@ -45,5 +65,17 @@ int main() {
               "(paper: 0.1112 n + 61.02, R^2=0.99)\n",
               am.slope_us_per_byte, am.intercept_us, am.r_squared);
   std::printf("AM N_1/2 = %.0f bytes (paper: ~540)\n", am.n_half_bytes);
+
+  if (!csv_path.empty()) {
+    FILE* f = std::fopen(csv_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+      return 1;
+    }
+    std::fputs(am.timeseries_csv.c_str(), f);
+    std::fclose(f);
+    std::printf("time series: %s (plot with scripts/plot_timeseries.py)\n",
+                csv_path.c_str());
+  }
   return 0;
 }

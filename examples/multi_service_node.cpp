@@ -66,7 +66,9 @@ sim::Task<> client(host::HostThread& t, Services& sv, const am::Name* target,
       last_report = t.engine().now();
       std::printf("  [%s] draining: replies=%llu credits=%d returned=%llu\n",
                   label, (unsigned long long)replies, ep->credits_in_use(),
-                  (unsigned long long)ep->stats().returns_handled);
+                  (unsigned long long)t.engine().snapshot().counter(
+                      "host." + std::to_string(ep->name().node) + ".ep." +
+                      std::to_string(ep->name().ep) + ".returns_handled"));
     }
   }
   std::printf("  [%s] %d requests served in %s\n", label, requests,
@@ -114,24 +116,26 @@ int main() {
   for (int msi = 100; msi < 2000; msi += 100) {
     cl.engine().at(msi * sim::ms, [&, msi] {
       if (std::getenv("VNET_TRACE") != nullptr) {
-        const auto& s0 = cl.host(0).nic().stats();
-        const auto& s3 = cl.host(3).nic().stats();
+        const obs::Snapshot snap = cl.engine().snapshot();
+        auto c = [&snap](const char* name) {
+          return (unsigned long long)snap.counter(name);
+        };
         std::printf("  t=%dms served c=%llu f=%llu m=%llu | n0: sent=%llu "
                     "done=%llu rts=%llu nacks=%llu dup=%llu unb=%llu | n3: "
                     "recv=%llu acks=%llu nackqf=%llu nacknr=%llu\n",
                     msi, (unsigned long long)served_compute,
                     (unsigned long long)served_files,
                     (unsigned long long)served_mon,
-                    (unsigned long long)s0.data_sent,
-                    (unsigned long long)s0.msgs_completed,
-                    (unsigned long long)s0.returned_to_sender,
-                    (unsigned long long)s0.nacks_received,
-                    (unsigned long long)s0.duplicates_suppressed,
-                    (unsigned long long)s0.channel_unbinds,
-                    (unsigned long long)s3.data_received,
-                    (unsigned long long)s3.acks_sent,
-                    (unsigned long long)s3.nacks_sent_by_reason[2],
-                    (unsigned long long)s3.nacks_sent_by_reason[1]);
+                    c("host.0.nic.data_sent"),
+                    c("host.0.nic.msgs_completed"),
+                    c("host.0.nic.returned_to_sender"),
+                    c("host.0.nic.nacks_received"),
+                    c("host.0.nic.duplicates_suppressed"),
+                    c("host.0.nic.channel_unbinds"),
+                    c("host.3.nic.data_received"),
+                    c("host.3.nic.acks_sent"),
+                    c("host.3.nic.nacks_sent_by_reason.2"),
+                    c("host.3.nic.nacks_sent_by_reason.1"));
       }
     });
   }
@@ -146,8 +150,8 @@ int main() {
               static_cast<unsigned long long>(served_files),
               static_cast<unsigned long long>(served_mon));
   std::printf("node-0 endpoint re-mappings: %llu (driver), frames: %d\n",
-              static_cast<unsigned long long>(
-                  cl.host(0).driver().stats().remaps),
+              static_cast<unsigned long long>(cl.engine().snapshot().counter(
+                  "host.0.driver.remaps")),
               cl.host(0).nic().endpoint_frames());
   std::printf("\nper-endpoint activity on node 0:\n%s",
               obs::render_table(cl.engine().snapshot(), "host.0.ep").c_str());

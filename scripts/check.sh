@@ -28,7 +28,7 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 echo "== tests (tracing compiled out) =="
 # Includes the Trace.MacroCompileConfigIsZeroCost guard, which asserts the
 # VNET_TRACE_* macros expand to nothing in this configuration.
-ctest --test-dir build-notrace --output-on-failure -j "$JOBS" -R "Trace\.|Metrics\.|ObsIntegration\."
+ctest --test-dir build-notrace --output-on-failure -j "$JOBS" -R "Trace\.|Metrics\.|ObsIntegration\.|Attr\.|Sampler\.|Watchdog\."
 
 echo "== chaos matrix (determinism check) =="
 ./build/bench/bench_chaos_matrix --seeds 2 | tee /tmp/chaos_matrix.1

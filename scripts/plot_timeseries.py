@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Regenerate bandwidth-vs-size curves from a sampler time-series CSV.
+
+Input is the CSV written by `bench_fig4_bandwidth --csv PATH` (or any
+obs::Sampler export that includes the `apps.bandwidth.*` gauges): one row
+per sampling window, counters as in-window deltas, gauges as end-of-window
+levels.  The workload annotates each window with two gauges —
+`apps.bandwidth.msg_bytes` (current message size) and
+`apps.bandwidth.phase` (0 idle, 1 streaming, 2 echo/RTT) — so the
+Figure 4 curve can be rebuilt offline by grouping the per-window
+`fabric.link.<label>.bytes_tx` deltas by message size over the streaming
+phase.  No simulator changes needed to re-cut the data another way.
+
+Link bytes include packet headers and acks, so the per-link rate sits
+slightly above the application goodput printed by the bench; the shape of
+the curve (and N_1/2) is what this reconstruction is for.
+
+Usage:
+    bench_fig4_bandwidth --csv /tmp/bw.csv
+    scripts/plot_timeseries.py /tmp/bw.csv [--phase 1] [--plot out.png]
+
+Pure standard library; --plot uses matplotlib only if it is installed.
+"""
+
+import argparse
+import csv
+import re
+import sys
+
+PHASE_COL = "apps.bandwidth.phase"
+SIZE_COL = "apps.bandwidth.msg_bytes"
+LINK_RE = re.compile(r"^fabric\.link\..*\.bytes_tx$")
+
+
+def load(path, phase):
+    """Returns {msg_bytes: (sum_window_ns, {link: sum_bytes})}."""
+    per_size = {}
+    with open(path, newline="") as f:
+        reader = csv.DictReader(f)
+        if reader.fieldnames is None or PHASE_COL not in reader.fieldnames:
+            sys.exit(f"{path}: no {PHASE_COL} column — was the CSV written "
+                     "by bench_fig4_bandwidth --csv?")
+        link_cols = [c for c in reader.fieldnames if LINK_RE.match(c)]
+        if not link_cols:
+            sys.exit(f"{path}: no fabric.link.*.bytes_tx columns")
+        for row in reader:
+            if int(float(row[PHASE_COL])) != phase:
+                continue
+            size = int(float(row[SIZE_COL]))
+            if size == 0:
+                continue
+            ns, links = per_size.setdefault(size, [0, {}])
+            per_size[size][0] += int(row["window_ns"])
+            for c in link_cols:
+                links[c] = links.get(c, 0) + int(float(row[c]))
+    return per_size
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("csv", help="sampler CSV from bench_fig4_bandwidth --csv")
+    ap.add_argument("--phase", type=int, default=1,
+                    help="workload phase to aggregate (default 1: streaming)")
+    ap.add_argument("--plot", metavar="PNG",
+                    help="also write a PNG (needs matplotlib)")
+    args = ap.parse_args()
+
+    per_size = load(args.csv, args.phase)
+    if not per_size:
+        sys.exit("no windows matched the requested phase")
+
+    # Per size: the busiest link carries the payload stream one hop, so its
+    # rate is the per-hop wire bandwidth at that message size.
+    print(f"{'bytes':>8} {'windows_ms':>11} {'peak_link':>22} {'MB/s':>8}")
+    sizes, rates = [], []
+    for size in sorted(per_size):
+        ns, links = per_size[size]
+        link, byts = max(links.items(), key=lambda kv: kv[1])
+        mbps = byts / (ns * 1e-9) / 1e6 if ns else 0.0
+        label = link[len("fabric.link."):-len(".bytes_tx")]
+        print(f"{size:>8} {ns / 1e6:>11.2f} {label:>22} {mbps:>8.1f}")
+        sizes.append(size)
+        rates.append(mbps)
+
+    if args.plot:
+        try:
+            import matplotlib
+            matplotlib.use("Agg")
+            import matplotlib.pyplot as plt
+        except ImportError:
+            sys.exit("--plot requires matplotlib, which is not installed")
+        plt.semilogx(sizes, rates, marker="o", base=2)
+        plt.xlabel("message size (bytes)")
+        plt.ylabel("peak link bandwidth (MB/s)")
+        plt.title("Figure 4 reconstruction from sampler time series")
+        plt.grid(True, which="both", alpha=0.3)
+        plt.savefig(args.plot, dpi=120, bbox_inches="tight")
+        print(f"wrote {args.plot}")
+
+
+if __name__ == "__main__":
+    main()

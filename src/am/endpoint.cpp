@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "am/probe.hpp"
+#include "obs/attr.hpp"
 
 namespace vnet::am {
 
@@ -50,17 +51,6 @@ Endpoint::~Endpoint() {
     state_->on_send_progress = nullptr;
     state_->on_return_to_sender = nullptr;
   }
-}
-
-Endpoint::Stats Endpoint::stats() const {
-  Stats s;
-  s.requests_sent = counters_.requests_sent.value();
-  s.replies_sent = counters_.replies_sent.value();
-  s.credit_replies_sent = counters_.credit_replies_sent.value();
-  s.messages_handled = counters_.messages_handled.value();
-  s.returns_handled = counters_.returns_handled.value();
-  s.send_stalls = counters_.send_stalls.value();
-  return s;
 }
 
 sim::Task<std::unique_ptr<Endpoint>> Endpoint::create(host::HostThread& t,
@@ -264,6 +254,10 @@ sim::Task<> Endpoint::send_common(host::HostThread& t,
   }
 
   // The write into the endpoint may fault (on-host r/o -> r/w, §4.2).
+  // Attribution's kEnqueue boundary: the stall loop above is back-pressure,
+  // not send overhead, so o_s starts here (the message id that names the
+  // flight only exists further down; begin() backdates to enq_at).
+  const sim::Time enq_at = host_->engine().now();
   co_await host_->driver().ensure_writable(t.ctx(), state_);
   host_->driver().touch(state_);
   co_await charge_send(t);
@@ -289,6 +283,15 @@ sim::Task<> Endpoint::send_common(host::HostThread& t,
     probe_->message_injected(state_->node, state_->id, desc.msg_id, is_request,
                              dst);
   }
+  obs::AttrRecorder& attr = host_->engine().attr();
+  bool attr_tracked = false;
+  std::uint64_t attr_key = 0;
+  if (attr.enabled()) {
+    const auto node = static_cast<std::uint32_t>(state_->node);
+    attr_tracked = attr.begin(node, state_->id, desc.msg_id,
+                              static_cast<std::int64_t>(enq_at));
+    attr_key = obs::AttrRecorder::key(node, state_->id, desc.msg_id);
+  }
   state_->send_queue.push_back(std::move(desc));
   if (is_request) {
     ++outstanding_requests_;
@@ -297,6 +300,10 @@ sim::Task<> Endpoint::send_common(host::HostThread& t,
     counters_.replies_sent.inc();
   }
   host_->nic().doorbell(*state_);
+  if (attr_tracked) {
+    attr.stamp(attr_key, obs::Stage::kDoorbell,
+               static_cast<std::int64_t>(host_->engine().now()));
+  }
   unlock();
 }
 
@@ -342,6 +349,19 @@ sim::Task<std::size_t> Endpoint::poll(host::HostThread& t, std::size_t max) {
     q->pop_front();
     const bool credit_only =
         !entry.body.is_request && entry.body.handler == kCreditHandler;
+    obs::AttrRecorder& attr = host_->engine().attr();
+    bool attr_track = false;
+    std::uint64_t attr_key = 0;
+    if (attr.enabled() && !credit_only) {
+      // Dequeue is the handler/thread-wake boundary: everything from here
+      // to handler return is receiver overhead o_r.
+      attr_key = obs::AttrRecorder::key(
+          static_cast<std::uint32_t>(entry.src_node), entry.src_ep,
+          entry.msg_id);
+      attr.stamp(attr_key, obs::Stage::kHandlerWake,
+                 static_cast<std::int64_t>(host_->engine().now()));
+      attr_track = true;
+    }
     if (credit_only) {
       // Implicit credit replies carry no payload the application reads;
       // the library just bumps its window counter (one flag load).
@@ -367,6 +387,10 @@ sim::Task<std::size_t> Endpoint::poll(host::HostThread& t, std::size_t max) {
       if (msg.handler() != kCreditHandler) {
         counters_.messages_handled.inc();
         if (handlers_[msg.handler()]) handlers_[msg.handler()](*this, msg);
+        if (attr_track) {
+          attr.finish(attr_key,
+                      static_cast<std::int64_t>(host_->engine().now()));
+        }
       }
       events_.notify_all();  // credit/space became available
       continue;
@@ -374,6 +398,11 @@ sim::Task<std::size_t> Endpoint::poll(host::HostThread& t, std::size_t max) {
 
     counters_.messages_handled.inc();
     if (handlers_[msg.handler()]) handlers_[msg.handler()](*this, msg);
+    if (attr_track) {
+      // Handler return completes the request's flight; the reply enqueued
+      // below is its own flight.
+      attr.finish(attr_key, static_cast<std::int64_t>(host_->engine().now()));
+    }
 
     // Request/reply paradigm: send the handler's reply, or an implicit
     // credit reply so the requester's window advances.
@@ -413,18 +442,33 @@ sim::Task<> Endpoint::enqueue_reply_locked(host::HostThread& t,
     co_await events_.wait();
     if (destroyed_) co_return;
   }
+  const sim::Time enq_at = host_->engine().now();
   co_await host_->driver().ensure_writable(t.ctx(), state_);
   co_await charge_send(t);
   d.msg_id = state_->alloc_msg_id();
   d.frag_count = frag_count_for(d.body.bulk_bytes,
                                 host_->nic().config().max_packet_payload);
   // Implicit credit replies are flow-control plumbing; don't track them.
-  if (probe_ != nullptr && d.body.handler != kCreditHandler) {
+  const bool tracked_kind = d.body.handler != kCreditHandler;
+  if (probe_ != nullptr && tracked_kind) {
     probe_->message_injected(state_->node, state_->id, d.msg_id,
                              /*is_request=*/false, d.reply_to.node);
   }
+  obs::AttrRecorder& attr = host_->engine().attr();
+  bool attr_tracked = false;
+  std::uint64_t attr_key = 0;
+  if (attr.enabled() && tracked_kind) {
+    const auto node = static_cast<std::uint32_t>(state_->node);
+    attr_tracked = attr.begin(node, state_->id, d.msg_id,
+                              static_cast<std::int64_t>(enq_at));
+    attr_key = obs::AttrRecorder::key(node, state_->id, d.msg_id);
+  }
   state_->send_queue.push_back(std::move(d));
   host_->nic().doorbell(*state_);
+  if (attr_tracked) {
+    attr.stamp(attr_key, obs::Stage::kDoorbell,
+               static_cast<std::int64_t>(host_->engine().now()));
+  }
 }
 
 // --------------------------------------------------------------- upcalls
@@ -446,6 +490,11 @@ void Endpoint::on_returned(lanai::SendDescriptor d, lanai::NackReason r) {
   if (probe_ != nullptr && state_ != nullptr &&
       (d.body.is_request || d.body.handler != kCreditHandler)) {
     probe_->message_returned(state_->node, state_->id, d.msg_id, r);
+  }
+  if (state_ != nullptr && host_->engine().attr().enabled()) {
+    // A returned message never reaches a handler; forget its flight.
+    host_->engine().attr().drop(obs::AttrRecorder::key(
+        static_cast<std::uint32_t>(state_->node), state_->id, d.msg_id));
   }
   returned_.push_back(ReturnedMessage{std::move(d), r});
   events_.notify_all();

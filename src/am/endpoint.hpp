@@ -155,21 +155,8 @@ class Endpoint {
   int credits_in_use() const { return outstanding_requests_; }
   int credit_limit() const { return credit_limit_; }
 
-  // ---- statistics ----
-
-  /// Deprecated shim kept for one PR: a value snapshot of the endpoint's
-  /// counters, materialized by stats(). New code should snapshot the
-  /// engine's metric registry instead; counters live under
-  /// `host.<node>.ep.<id>.*` (see obs/metrics.hpp).
-  struct Stats {
-    std::uint64_t requests_sent = 0;
-    std::uint64_t replies_sent = 0;
-    std::uint64_t credit_replies_sent = 0;
-    std::uint64_t messages_handled = 0;
-    std::uint64_t returns_handled = 0;
-    std::uint64_t send_stalls = 0;  ///< times request() had to wait
-  };
-  Stats stats() const;
+  // Statistics live in the engine's metric registry under
+  // `host.<node>.ep.<id>.*` (see obs/metrics.hpp); snapshot that.
 
  private:
   Endpoint(host::Host& host, lanai::EndpointState* state, bool shared);

@@ -5,6 +5,7 @@
 
 #include "am/endpoint.hpp"
 #include "cluster/cluster.hpp"
+#include "obs/sampler.hpp"
 #include "sim/stats.hpp"
 
 namespace vnet::apps {
@@ -59,7 +60,8 @@ sim::Task<> server_body(host::HostThread& t, SharedState& st) {
 
 BandwidthResult measure_bandwidth(const cluster::ClusterConfig& config,
                                   const std::vector<std::uint32_t>& sizes,
-                                  int stream_messages, int pingpongs) {
+                                  int stream_messages, int pingpongs,
+                                  sim::Duration sample_period) {
   cluster::ClusterConfig cfg = config;
   cfg.nodes = 2;
   cfg.topology = cluster::ClusterConfig::Topology::kCrossbar;
@@ -67,6 +69,27 @@ BandwidthResult measure_bandwidth(const cluster::ClusterConfig& config,
   auto st = std::make_unique<SharedState>();
   BandwidthResult result;
   sim::LinearFit fit;
+
+  // Phase markers for the time-series sampler: which message size is being
+  // streamed/echoed during each sampling window (Figures 4-7 style curves
+  // are regenerated offline from the CSV by grouping windows on these).
+  obs::Gauge phase_msg_bytes =
+      cl.engine().metrics().gauge("apps.bandwidth.msg_bytes");
+  obs::Gauge phase_gauge = cl.engine().metrics().gauge("apps.bandwidth.phase");
+  phase_gauge.set(kBwPhaseIdle);
+
+  std::unique_ptr<obs::Sampler> sampler;
+  if (sample_period > 0) {
+    obs::SamplerConfig scfg;
+    scfg.period_ns = sample_period;
+    scfg.prefixes = {"apps.bandwidth", "fabric.link."};
+    sampler = std::make_unique<obs::Sampler>(cl.engine().metrics(), scfg);
+    sampler->sample(cl.engine().now());  // baseline window
+    cl.engine().every(sample_period, [&sampler, &st, &cl] {
+      sampler->sample(cl.engine().now());
+      return !st->client_done;  // stop once the workload is over
+    });
+  }
 
   cl.spawn_thread(1, "bw-server", [&st](host::HostThread& t) -> sim::Task<> {
     co_await server_body(t, *st);
@@ -90,6 +113,8 @@ BandwidthResult measure_bandwidth(const cluster::ClusterConfig& config,
 
     for (std::uint32_t n : sizes) {
       // --- bandwidth: windowed stream of `stream_messages` n-byte sends ---
+      phase_msg_bytes.set(n);
+      phase_gauge.set(kBwPhaseStream);
       st->stream_received = 0;
       st->stream_bytes = 0;
       st->window_start = 0;
@@ -107,6 +132,7 @@ BandwidthResult measure_bandwidth(const cluster::ClusterConfig& config,
       }
 
       // --- latency: single outstanding n-byte echo ---
+      phase_gauge.set(kBwPhaseEcho);
       sim::Summary rtt;
       for (int i = 0; i < pingpongs; ++i) {
         const sim::Time t0 = t.engine().now();
@@ -119,11 +145,16 @@ BandwidthResult measure_bandwidth(const cluster::ClusterConfig& config,
       if (n >= 128) fit.add(n, p.rtt_us);
       result.points.push_back(p);
     }
+    phase_gauge.set(kBwPhaseIdle);
     st->client_done = true;
     co_await ep->destroy(t);
   });
 
   cl.run_to_completion();
+  if (sampler) {
+    sampler->sample(cl.engine().now());  // close the final partial window
+    result.timeseries_csv = sampler->csv();
+  }
 
   result.slope_us_per_byte = fit.slope();
   result.intercept_us = fit.intercept();

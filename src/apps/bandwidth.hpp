@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "cluster/config.hpp"
@@ -23,13 +24,28 @@ struct BandwidthResult {
   double r_squared = 0;
   /// Half-power message size N_1/2 (paper: ~540 bytes).
   double n_half_bytes = 0;
+  /// Time-series CSV from the periodic registry sampler ("" unless a
+  /// sample period was requested): one row per window with per-link byte
+  /// deltas plus the `apps.bandwidth.msg_bytes` / `.phase` gauges, enough
+  /// to regenerate the bandwidth-vs-size curve offline
+  /// (scripts/plot_timeseries.py).
+  std::string timeseries_csv;
 };
+
+/// Phase gauge values published under `apps.bandwidth.phase`.
+inline constexpr double kBwPhaseIdle = 0;
+inline constexpr double kBwPhaseStream = 1;
+inline constexpr double kBwPhaseEcho = 2;
 
 /// Runs the Fig 4 microbenchmark on a fresh 2-node cluster: for each
 /// message size, a windowed stream measures delivered bandwidth, and a
-/// ping-pong with same-size echoes measures round-trip time.
+/// ping-pong with same-size echoes measures round-trip time. A non-zero
+/// `sample_period` additionally runs an obs::Sampler over the
+/// `apps.bandwidth` and `fabric.link.` metric prefixes every period of
+/// simulated time and returns the CSV.
 BandwidthResult measure_bandwidth(const cluster::ClusterConfig& config,
                                   const std::vector<std::uint32_t>& sizes,
-                                  int stream_messages = 160, int pingpongs = 30);
+                                  int stream_messages = 160, int pingpongs = 30,
+                                  sim::Duration sample_period = 0);
 
 }  // namespace vnet::apps

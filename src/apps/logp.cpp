@@ -4,6 +4,8 @@
 
 #include "am/endpoint.hpp"
 #include "cluster/cluster.hpp"
+#include "obs/attr.hpp"
+#include "obs/metrics.hpp"
 #include "sim/stats.hpp"
 
 namespace vnet::apps {
@@ -20,6 +22,7 @@ struct SharedState {
 
   // streaming (gap) phase
   bool stream_done = false;
+  std::uint64_t server_handled = 0;
   std::uint64_t stream_received = 0;
   sim::Time stream_first = 0;
   sim::Time stream_last = 0;
@@ -32,11 +35,13 @@ struct SharedState {
 sim::Task<> server_body(host::HostThread& t, SharedState& st, int pingpongs,
                         int stream) {
   auto ep = co_await am::Endpoint::create(t, /*tag=*/0x5e11);
-  ep->set_handler(1, [](am::Endpoint&, const am::Message& m) {
+  ep->set_handler(1, [&st](am::Endpoint&, const am::Message& m) {
+    ++st.server_handled;
     m.reply(2, {m.arg(0)});  // pong
   });
   ep->set_handler(3, [&st, &t](am::Endpoint&, const am::Message&) {
     // gap-phase stream arrival
+    ++st.server_handled;
     const sim::Time now = t.engine().now();
     if (st.stream_received == 0) st.stream_first = now;
     st.stream_last = now;
@@ -47,10 +52,8 @@ sim::Task<> server_body(host::HostThread& t, SharedState& st, int pingpongs,
   const auto expected = 20u +  // warm-up round trips
                         static_cast<std::uint64_t>(pingpongs) +
                         static_cast<std::uint64_t>(stream);
-  std::uint64_t handled = 0;
-  while (handled < expected) {
+  while (st.server_handled < expected) {
     const std::size_t n = co_await ep->poll(t, 8);
-    handled = ep->stats().messages_handled;
     if (n == 0) co_await t.compute(100);
   }
   // Drain trailing acks/credits before tearing down.
@@ -104,11 +107,12 @@ sim::Task<> client_body(host::HostThread& t, SharedState& st, int pingpongs,
 }  // namespace
 
 LogpResult measure_logp(const cluster::ClusterConfig& config, int pingpongs,
-                        int stream) {
+                        int stream, bool attribute) {
   cluster::ClusterConfig cfg = config;
   cfg.nodes = 2;
   cfg.topology = cluster::ClusterConfig::Topology::kCrossbar;
   cluster::Cluster cl(cfg);
+  if (attribute) cl.engine().attr().set_sample_interval(1);  // track all
   auto st = std::make_unique<SharedState>();
 
   cl.spawn_thread(1, "logp-server", [&st, pingpongs, stream](
@@ -130,6 +134,14 @@ LogpResult measure_logp(const cluster::ClusterConfig& config, int pingpongs,
              static_cast<double>(st->stream_received - 1);
   }
   r.l_us = r.rtt_us / 2.0 - r.os_us - r.or_us;
+
+  if (attribute) {
+    const obs::Snapshot snap = cl.engine().snapshot();
+    const obs::AttrSummary sum = obs::summarize_attr(snap);
+    r.attr_e2e_us = sum.e2e.mean() / 1e3;
+    r.attr_stage_sum_us = sum.stage_sum_mean_ns() / 1e3;
+    r.attr_report = obs::render_attr_report(snap);
+  }
   return r;
 }
 

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <string>
+
 #include "cluster/config.hpp"
 
 namespace vnet::apps {
@@ -11,6 +13,12 @@ struct LogpResult {
   double l_us = 0;    ///< latency: RTT/2 - o_s - o_r
   double g_us = 0;    ///< gap: steady-state time per small message
   double rtt_us = 0;  ///< measured round-trip time of a 16-byte message
+
+  // Filled only when measure_logp runs with `attribute == true`:
+  // the flight recorder's per-stage decomposition of the same ping-pongs.
+  double attr_e2e_us = 0;        ///< mean one-way end-to-end (enqueue->done)
+  double attr_stage_sum_us = 0;  ///< sum of the per-stage interval means
+  std::string attr_report;       ///< rendered stage table ("" otherwise)
 };
 
 /// Runs the LogP microbenchmark of [9] on a fresh 2-node cluster with the
@@ -21,7 +29,14 @@ struct LogpResult {
 ///  * g   — a `stream`-message burst under the full credit window, taking
 ///          the steady-state inter-arrival time at the receiver;
 ///  * L   — RTT/2 - o_s - o_r.
+///
+/// With `attribute` set, every message is also tracked by the engine's
+/// latency-attribution recorder (obs/attr.hpp) and the result carries the
+/// per-stage table; pass `stream == 0` for a pure ping-pong decomposition
+/// whose stage sums reconcile with the measured RTT (two one-way flights —
+/// request and reply — per round trip).
 LogpResult measure_logp(const cluster::ClusterConfig& config,
-                        int pingpongs = 300, int stream = 3000);
+                        int pingpongs = 300, int stream = 3000,
+                        bool attribute = false);
 
 }  // namespace vnet::apps

@@ -276,9 +276,10 @@ ContentionResult run_contention(const ContentionParams& params) {
 
   if (params.debug_trace) {
     for (int msi = 1; msi < 400; ++msi) {
-      cl.engine().at(msi * sim::ms, [&cl, &st, &nic] {
+      cl.engine().at(msi * sim::ms, [&cl, &st, &nic, &notres_name] {
         std::uint64_t replies = 0;
         for (auto r : st->replies) replies += r;
+        const obs::Snapshot s = cl.engine().snapshot();
         std::fprintf(stderr,
                      "[%4lldms] events=%llu replies=%llu remaps=%llu "
                      "notres=%llu retrans=%llu timeouts=%llu pend=%zu\n",
@@ -287,13 +288,12 @@ ContentionResult run_contention(const ContentionParams& params) {
                          cl.engine().events_processed()),
                      static_cast<unsigned long long>(replies),
                      static_cast<unsigned long long>(
-                         cl.host(0).driver().stats().remaps),
+                         s.counter("host.0.driver.remaps")),
+                     static_cast<unsigned long long>(s.counter(notres_name)),
                      static_cast<unsigned long long>(
-                         nic.stats().nacks_sent_by_reason[static_cast<int>(
-                             lanai::NackReason::kNotResident)]),
+                         s.counter("host.0.nic.retransmissions")),
                      static_cast<unsigned long long>(
-                         nic.stats().retransmissions),
-                     static_cast<unsigned long long>(nic.stats().timeouts),
+                         s.counter("host.0.nic.timeouts")),
                      cl.engine().pending_events());
         std::fprintf(stderr,
                      "        remapq=%zu unloads=%zu busych=%d reqd=%zu "
@@ -302,7 +302,7 @@ ContentionResult run_contention(const ContentionParams& params) {
                      nic.pending_unload_count(), nic.busy_channel_count(),
                      nic.resident_requested_count(), nic.draining_count(),
                      static_cast<unsigned long long>(
-                         cl.host(0).driver().stats().evictions),
+                         s.counter("host.0.driver.evictions")),
                      cl.host(0).driver().resident_count());
       });
     }

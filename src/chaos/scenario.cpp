@@ -62,6 +62,26 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   SharedState sh;
   std::vector<std::unique_ptr<am::Endpoint>> parked;
 
+  // Stall watchdog: once per window, diff the registry and name any
+  // component that stopped making progress (see obs/watchdog.hpp). The
+  // periodic check must stop once the controller declares the run over, or
+  // the post-run engine().run() drain below would never terminate.
+  obs::WatchdogConfig wcfg;
+  wcfg.window_ns = 500 * sim::us;
+  wcfg.link_ns_per_byte = cfg.fabric.link.ns_per_byte;
+  obs::Watchdog watchdog(cl.engine().metrics(), wcfg);
+  watchdog.set_on_fire([&cl](const obs::WatchdogEvent& ev) {
+    (void)cl;
+    (void)ev;
+    VNET_TRACE_INSTANT(cl.engine().tracer(), "watchdog",
+                       ev.rule + " " + ev.subject, 0, 0, {});
+  });
+  cl.engine().every(wcfg.window_ns, [&watchdog, &sh, &cl] {
+    if (sh.stop) return false;
+    watchdog.check(cl.engine().now());
+    return true;
+  });
+
   // --- servers: node 1 = primary, node 2 = replica (echo service) ---
   auto server_body = [&sh, &parked](am::Name* slot, std::uint64_t tag)
       -> cluster::Cluster::ThreadBody {
@@ -258,6 +278,8 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   res.total_time = run_time;
   res.campaign_log = campaign.log();
   res.link_stats = obs::render_table(snap, "fabric.link");
+  res.watchdog_events = watchdog.events();
+  res.watchdog_summary = watchdog.render_summary();
   return res;
 }
 
@@ -367,9 +389,9 @@ ScenarioSpec standard_scenario(const std::string& name, std::uint64_t seed) {
 std::string result_table_header() {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
-                "%-14s %5s %5s %5s %5s %4s %6s %6s %7s %6s %9s",
+                "%-14s %5s %5s %5s %5s %4s %6s %6s %7s %6s %6s %9s",
                 "scenario", "seed", "sent", "dlvd", "retd", "dup", "rexmt",
-                "unbnd", "dropped", "viol", "recover");
+                "unbnd", "dropped", "viol", "stall", "recover");
   return buf;
 }
 
@@ -377,7 +399,8 @@ std::string result_table_row(const ScenarioResult& r) {
   char buf[256];
   std::snprintf(
       buf, sizeof(buf),
-      "%-14s %5llu %5llu %5llu %5llu %4llu %6llu %6llu %7llu %6zu %7.2fms",
+      "%-14s %5llu %5llu %5llu %5llu %4llu %6llu %6llu %7llu %6zu %6zu "
+      "%7.2fms",
       r.name.c_str(), static_cast<unsigned long long>(r.seed),
       static_cast<unsigned long long>(r.counts.injected),
       static_cast<unsigned long long>(r.counts.delivered),
@@ -386,7 +409,8 @@ std::string result_table_row(const ScenarioResult& r) {
       static_cast<unsigned long long>(r.retransmissions),
       static_cast<unsigned long long>(r.channel_unbinds),
       static_cast<unsigned long long>(r.dropped_down + r.dropped_fault),
-      r.violations.size(), sim::to_msec(r.recovery_time));
+      r.violations.size(), r.watchdog_events.size(),
+      sim::to_msec(r.recovery_time));
   return buf;
 }
 

@@ -10,6 +10,7 @@
 #include "chaos/fault_plan.hpp"
 #include "chaos/ledger.hpp"
 #include "cluster/cluster.hpp"
+#include "obs/watchdog.hpp"
 
 namespace vnet::chaos {
 
@@ -82,6 +83,13 @@ struct ScenarioResult {
 
   std::vector<std::string> campaign_log;
   std::string link_stats;  ///< per-link drop table (campaign report)
+
+  /// Stall-watchdog firings (obs/watchdog.hpp) observed during the run:
+  /// which component stalled, when, and for how many windows. The checkers
+  /// above judge *whether* delivery invariants held; the watchdog names the
+  /// component that went quiet while a fault was in force.
+  std::vector<obs::WatchdogEvent> watchdog_events;
+  std::string watchdog_summary;  ///< rendered table ("" if nothing fired)
 };
 
 /// Builds, runs and checks one scenario. Deterministic for a fixed spec.

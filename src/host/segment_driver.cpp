@@ -40,6 +40,7 @@ SegmentDriver::SegmentDriver(sim::Engine& engine, Cpu& cpu, lanai::Nic& nic,
       rng_(engine.rng().split()),
       metric_prefix_("host." + std::to_string(nic.node()) + ".driver") {
   counters_.register_with(engine.metrics(), metric_prefix_);
+  fault_ns_ = engine.metrics().histogram(metric_prefix_ + ".attr.fault_ns");
   engine.metrics().gauge_fn(metric_prefix_ + ".resident_endpoints", [this] {
     return static_cast<double>(resident_count());
   });
@@ -50,19 +51,6 @@ SegmentDriver::SegmentDriver(sim::Engine& engine, Cpu& cpu, lanai::Nic& nic,
 
 SegmentDriver::~SegmentDriver() {
   engine_->metrics().remove_fn_prefix(metric_prefix_ + ".");
-}
-
-SegmentDriver::Stats SegmentDriver::stats() const {
-  Stats s;
-  s.write_faults = counters_.write_faults.value();
-  s.disk_faults = counters_.disk_faults.value();
-  s.proxy_faults = counters_.proxy_faults.value();
-  s.remaps = counters_.remaps.value();
-  s.evictions = counters_.evictions.value();
-  s.pageouts = counters_.pageouts.value();
-  s.endpoints_created = counters_.endpoints_created.value();
-  s.endpoints_destroyed = counters_.endpoints_destroyed.value();
-  return s;
 }
 
 void SegmentDriver::start() {
@@ -135,6 +123,7 @@ sim::Task<> SegmentDriver::ensure_writable(ThreadCtx& t,
   Managed* m = find(ep);
   if (m == nullptr || m->destroyed) co_return;
   m->last_touch = engine_->now();
+  const sim::Time fault_start = engine_->now();
   switch (m->res) {
     case Residency::kOnNic:
     case Residency::kOnHostRW:
@@ -168,6 +157,8 @@ sim::Task<> SegmentDriver::ensure_writable(ThreadCtx& t,
           co_await m->resident_cv.wait();
         }
       }
+      fault_ns_.record(
+          static_cast<double>(engine_->now() - fault_start));
       co_return;
   }
 }

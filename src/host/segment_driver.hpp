@@ -39,21 +39,6 @@ class SegmentDriver {
   /// (§4.2); FIFO and LRU are provided for the ablation study.
   enum class Policy { kRandom, kFifo, kLru };
 
-  /// Deprecated shim kept for one PR: a value snapshot of the driver's
-  /// counters, materialized by stats(). New code should snapshot the
-  /// engine's metric registry instead; counters live under
-  /// `host.<node>.driver.*` (see obs/metrics.hpp).
-  struct Stats {
-    std::uint64_t write_faults = 0;
-    std::uint64_t disk_faults = 0;
-    std::uint64_t proxy_faults = 0;  ///< NIC-initiated (message arrival)
-    std::uint64_t remaps = 0;        ///< endpoint loads into frames
-    std::uint64_t evictions = 0;
-    std::uint64_t pageouts = 0;
-    std::uint64_t endpoints_created = 0;
-    std::uint64_t endpoints_destroyed = 0;
-  };
-
   /// Registry-backed counter handles for the driver, registered under
   /// `host.<node>.driver.*` at construction.
   struct DriverCounters {
@@ -117,7 +102,9 @@ class SegmentDriver {
   void set_policy(Policy p) { policy_ = p; }
   Policy policy() const { return policy_; }
 
-  Stats stats() const;
+  // Statistics live in the engine's metric registry under
+  // `host.<node>.driver.*` (see obs/metrics.hpp); snapshot that.
+
   int resident_count() const;
   std::size_t remap_queue_size() const { return remap_queue_.size(); }
 
@@ -157,6 +144,10 @@ class SegmentDriver {
   Policy policy_ = Policy::kRandom;
   sim::Rng rng_;
   DriverCounters counters_;
+  /// Service time of each write-fault (on-host r/o -> writable), the OS
+  /// contribution to send latency attribution (obs/attr.hpp); registered
+  /// under `host.<node>.driver.attr.fault_ns`.
+  obs::Histogram fault_ns_;
   std::string metric_prefix_;
   bool started_ = false;
 };

@@ -107,6 +107,11 @@ struct Frame : myrinet::Payload {
   NackReason nack = NackReason::kNone;
   std::uint8_t acked_seq = 0;
 
+  /// Not a wire field: when the carrying packet reached the destination
+  /// station (copied from Packet::delivered_at by handle_rx), the wire
+  /// boundary for latency attribution (obs/attr.hpp). -1 for local frames.
+  sim::Time delivered_at = -1;
+
   /// §8 extension: acknowledgments piggybacked on a data frame (empty
   /// unless NicConfig::piggyback_acks is enabled).
   struct PiggyAck {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/attr.hpp"
+
 namespace vnet::lanai {
 
 namespace {
@@ -72,38 +74,24 @@ Nic::Nic(sim::Engine& engine, myrinet::Fabric& fabric, NodeId node,
       rx_(engine),
       driver_ops_(engine),
       frames_(static_cast<std::size_t>(config.endpoint_frames)),
-      rng_(engine.rng().split()) {
-  counters_.register_with(engine.metrics(),
-                          "host." + std::to_string(node) + ".nic");
+      rng_(engine.rng().split()),
+      metric_prefix_("host." + std::to_string(node) + ".nic") {
+  counters_.register_with(engine.metrics(), metric_prefix_);
+  // Pull-style gauges sampled at snapshot time; the stall watchdogs
+  // (obs/watchdog.hpp) read these against the counter deltas.
+  engine.metrics().gauge_fn(metric_prefix_ + ".busy_channels", [this] {
+    return static_cast<double>(busy_channel_count());
+  });
+  engine.metrics().gauge_fn(metric_prefix_ + ".send_backlog", [this] {
+    return static_cast<double>(send_backlog());
+  });
+  engine.metrics().gauge_fn(metric_prefix_ + ".rx_backlog", [this] {
+    return static_cast<double>(rx_.size());
+  });
 }
 
-NicStats Nic::stats() const {
-  NicStats s;
-  s.data_sent = counters_.data_sent.value();
-  s.data_received = counters_.data_received.value();
-  s.acks_sent = counters_.acks_sent.value();
-  s.acks_received = counters_.acks_received.value();
-  s.nacks_sent = counters_.nacks_sent.value();
-  s.nacks_received = counters_.nacks_received.value();
-  s.retransmissions = counters_.retransmissions.value();
-  s.timeouts = counters_.timeouts.value();
-  s.channel_unbinds = counters_.channel_unbinds.value();
-  s.returned_to_sender = counters_.returned_to_sender.value();
-  s.crc_drops = counters_.crc_drops.value();
-  s.gam_drops = counters_.gam_drops.value();
-  s.duplicates_suppressed = counters_.duplicates_suppressed.value();
-  s.local_deliveries = counters_.local_deliveries.value();
-  s.remap_requests = counters_.remap_requests.value();
-  s.driver_ops = counters_.driver_ops.value();
-  s.msgs_completed = counters_.msgs_completed.value();
-  s.frames_loaded = counters_.frames_loaded.value();
-  s.frames_unloaded = counters_.frames_unloaded.value();
-  s.acks_piggybacked = counters_.acks_piggybacked.value();
-  s.piggy_flushes = counters_.piggy_flushes.value();
-  for (int i = 0; i < 8; ++i) {
-    s.nacks_sent_by_reason[i] = counters_.nacks_sent_by_reason[i].value();
-  }
-  return s;
+Nic::~Nic() {
+  engine_->metrics().remove_fn_prefix(metric_prefix_ + ".");
 }
 
 void Nic::start() {
@@ -279,6 +267,14 @@ sim::Task<bool> Nic::service_endpoint(EndpointState& ep) {
 }
 
 sim::Task<bool> Nic::start_fragment(EndpointState& ep, SendDescriptor& desc) {
+  if (engine_->attr().enabled()) {
+    // First pickup only (repeat stamps are ignored): rebinds and later
+    // fragments attribute to the initial tx-service wait.
+    engine_->attr().stamp(
+        obs::AttrRecorder::key(static_cast<std::uint32_t>(node_), ep.id,
+                               desc.msg_id),
+        obs::Stage::kNicPickup, static_cast<std::int64_t>(engine_->now()));
+  }
   // Resolve the destination: requests go through the translation table
   // (§3.1), replies directly to the requester.
   NodeId dst_node;
@@ -475,6 +471,13 @@ sim::Task<bool> Nic::deliver_local(EndpointState& src, SendDescriptor& desc,
   entry.arrived_at = engine_->now();
   queue.push_back(std::move(entry));
   ++dst.msgs_delivered;
+  if (engine_->attr().enabled()) {
+    // Local delivery skips the wire boundaries; the flight keeps a gap.
+    engine_->attr().stamp(
+        obs::AttrRecorder::key(static_cast<std::uint32_t>(node_), src.id,
+                               desc.msg_id),
+        obs::Stage::kRxDeposit, static_cast<std::int64_t>(engine_->now()));
+  }
   finish_ok();
   if (dst.on_arrival) dst.on_arrival();
   co_return true;
@@ -485,6 +488,10 @@ sim::Task<> Nic::inject(Frame f) {
   assert(!routes.empty());
   // Channels are statically bound to routes (§5.3): FIFO per channel.
   const auto& route = routes[f.channel % routes.size()];
+
+  const bool own_data = f.kind == FrameKind::kData && f.src_node == node_;
+  const EpId attr_ep = f.src_ep;
+  const std::uint64_t attr_msg = f.msg_id;
 
   myrinet::Packet p;
   p.src = node_;
@@ -497,6 +504,14 @@ sim::Task<> Nic::inject(Frame f) {
   while (!station_->can_inject()) {
     co_await station_->drained().wait();
   }
+  if (own_data && engine_->attr().enabled()) {
+    // Stamped after the back-pressure wait: injection-queue stalls count
+    // as NIC tx service, not as wire latency.
+    engine_->attr().stamp(
+        obs::AttrRecorder::key(static_cast<std::uint32_t>(node_), attr_ep,
+                               attr_msg),
+        obs::Stage::kWireInject, static_cast<std::int64_t>(engine_->now()));
+  }
   station_->inject(std::move(p));
 }
 
@@ -505,6 +520,7 @@ sim::Task<> Nic::inject(Frame f) {
 sim::Task<bool> Nic::handle_rx(myrinet::Packet pkt) {
   auto* frame = dynamic_cast<Frame*>(pkt.payload.get());
   if (frame == nullptr) co_return true;  // foreign traffic: ignore
+  frame->delivered_at = pkt.delivered_at;
   if (pkt.corrupt) {
     // CRC failure: drop silently; the sender's timer recovers it.
     counters_.crc_drops.inc();
@@ -640,6 +656,16 @@ sim::Task<> Nic::accept_fragment(EndpointState& ep, const Frame& f,
     ++ep.msgs_delivered;
     if (config_.reliable_transport) {
       ep.delivered_from[src_key(f.src_node, f.src_ep)].remember(f.msg_id);
+    }
+    if (engine_->attr().enabled()) {
+      const std::uint64_t k = obs::AttrRecorder::key(
+          static_cast<std::uint32_t>(f.src_node), f.src_ep, f.msg_id);
+      if (f.delivered_at >= 0) {
+        engine_->attr().stamp(k, obs::Stage::kWireDeliver,
+                              static_cast<std::int64_t>(f.delivered_at));
+      }
+      engine_->attr().stamp(k, obs::Stage::kRxDeposit,
+                            static_cast<std::int64_t>(engine_->now()));
     }
     if (ep.on_arrival) ep.on_arrival();
   };

@@ -5,6 +5,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -51,35 +52,6 @@ struct NicRequest {
   std::uint64_t lamport = 0;
 };
 
-/// Plain-value snapshot of one NIC's counters, materialized on demand by
-/// Nic::stats(). Deprecated shim kept for one PR: the counters live in the
-/// engine's obs::MetricsRegistry under "host.<node>.nic." — new code should
-/// snapshot the registry instead (see obs/metrics.hpp).
-struct NicStats {
-  std::uint64_t data_sent = 0;
-  std::uint64_t data_received = 0;
-  std::uint64_t acks_sent = 0;
-  std::uint64_t acks_received = 0;
-  std::uint64_t nacks_sent = 0;
-  std::uint64_t nacks_received = 0;
-  std::uint64_t nacks_sent_by_reason[8] = {};
-  std::uint64_t retransmissions = 0;
-  std::uint64_t timeouts = 0;
-  std::uint64_t channel_unbinds = 0;
-  std::uint64_t returned_to_sender = 0;
-  std::uint64_t crc_drops = 0;
-  std::uint64_t gam_drops = 0;  ///< receive-queue drops in GAM mode
-  std::uint64_t duplicates_suppressed = 0;
-  std::uint64_t local_deliveries = 0;
-  std::uint64_t remap_requests = 0;
-  std::uint64_t driver_ops = 0;
-  std::uint64_t msgs_completed = 0;  ///< fully acknowledged messages
-  std::uint64_t frames_loaded = 0;
-  std::uint64_t frames_unloaded = 0;
-  std::uint64_t acks_piggybacked = 0;  ///< acks carried on data frames
-  std::uint64_t piggy_flushes = 0;     ///< standalone flushes of pending acks
-};
-
 /// Registry-backed counter handles the firmware bumps on the hot path.
 /// Field names double as the metric leaf names under "host.<node>.nic.".
 struct NicCounters {
@@ -116,16 +88,16 @@ class Nic {
   Nic(const Nic&) = delete;
   Nic& operator=(const Nic&) = delete;
 
+  /// Unregisters this NIC's pull-style gauges; they capture `this` and
+  /// must not outlive it (the registry samples them at snapshot time).
+  ~Nic();
+
   /// Spawns the firmware loop. Call once after construction.
   void start();
 
   NodeId node() const { return node_; }
   const NicConfig& config() const { return config_; }
   SbusDma& sbus() { return sbus_; }
-
-  /// Value snapshot of this NIC's registry counters (deprecated shim; see
-  /// NicStats).
-  NicStats stats() const;
 
   /// 32-bit NIC clock (~1 us granularity), stamped into link headers and
   /// echoed by acknowledgments (§5.1).
@@ -175,6 +147,18 @@ class Nic {
     return resident_requested_.size();
   }
   std::size_t draining_count() const { return draining_.size(); }
+
+  /// Unfinished send descriptors across every endpoint this NIC knows;
+  /// exported as the `send_backlog` gauge the frame-loiter watchdog reads.
+  std::size_t send_backlog() const {
+    std::size_t n = 0;
+    for (const auto& [id, ep] : directory_) {
+      for (const auto& d : ep->send_queue) {
+        if (!d.finished()) ++n;
+      }
+    }
+    return n;
+  }
 
   /// Current smoothed RTT estimate to `peer` (0 if none yet); §8 extension.
   sim::Duration rtt_estimate(NodeId peer) const {
@@ -338,6 +322,7 @@ class Nic {
   std::uint32_t epoch_base_ = 1;
   std::uint64_t next_packet_id_ = 1;
   sim::Rng rng_;
+  std::string metric_prefix_;
   NicCounters counters_;
   bool started_ = false;
 };

@@ -218,20 +218,6 @@ void Fabric::set_trunk_link(int leaf, int spine, bool up) {
   }
 }
 
-std::vector<LinkStats> Fabric::link_stats(bool active_only) const {
-  std::vector<LinkStats> out;
-  out.reserve(channels_.size());
-  for (std::size_t i = 0; i < channels_.size(); ++i) {
-    const Channel& c = *channels_[i];
-    if (active_only && c.packets_sent() == 0 && c.packets_dropped() == 0) {
-      continue;
-    }
-    out.push_back({channel_labels_[i], c.packets_sent(), c.bytes_sent(),
-                   c.dropped_down(), c.dropped_fault()});
-  }
-  return out;
-}
-
 std::uint64_t Fabric::total_dropped_down() const {
   std::uint64_t n = 0;
   for (const auto& c : channels_) n += c->dropped_down();

@@ -54,18 +54,6 @@ struct FabricParams {
   FaultParams faults;
 };
 
-/// Deprecated shim kept for one PR: per-link-direction statistics snapshot.
-/// New code should snapshot the engine's metric registry instead; per-link
-/// counters live under `fabric.link.<label>.*` and render with
-/// `obs::render_table(snapshot, "fabric.link")`.
-struct LinkStats {
-  std::string label;
-  std::uint64_t packets_sent = 0;
-  std::uint64_t bytes_sent = 0;
-  std::uint64_t dropped_down = 0;
-  std::uint64_t dropped_fault = 0;
-};
-
 /// The interconnect: stations (host attachment points), switches, links,
 /// precomputed multi-path source routes, and fault injection.
 ///
@@ -136,10 +124,10 @@ class Fabric {
   std::uint64_t injected_drops() const { return injected_drops_; }
   std::uint64_t injected_corruptions() const { return injected_corruptions_; }
 
-  /// Per-link stats snapshot; with `active_only`, links that never carried
-  /// or dropped a packet are omitted. Deprecated shim kept for one PR —
-  /// see LinkStats.
-  std::vector<LinkStats> link_stats(bool active_only = true) const;
+  // Per-link statistics live in the engine's metric registry under
+  // `fabric.link.<label>.*` (packets_tx / bytes_tx / drops_down /
+  // drops_fault); render with obs::render_table(snapshot, "fabric.link").
+
   std::uint64_t total_dropped_down() const;
   std::uint64_t total_dropped_fault() const;
 

@@ -37,6 +37,10 @@ struct Packet {
   bool corrupt = false;
   /// Injection timestamp, for end-to-end fabric latency accounting.
   sim::Time injected_at = 0;
+  /// Stamped by the destination station as the last hop delivers the
+  /// packet (-1 until then); the wire-stage boundary for latency
+  /// attribution (obs/attr.hpp).
+  sim::Time delivered_at = -1;
   /// Unique id for tracing.
   std::uint64_t id = 0;
   std::unique_ptr<Payload> payload;

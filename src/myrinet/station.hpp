@@ -66,6 +66,7 @@ class Station {
     rx_ = rx;
     rx_->on_deliver = [this](Packet p) {
       ++packets_received_;
+      p.delivered_at = engine_->now();
       // One span per packet, injection -> delivery, on the receiver's row.
       VNET_TRACE_COMPLETE(engine_->tracer(), "wire", "packet",
                           static_cast<std::int64_t>(p.injected_at),

@@ -1,0 +1,158 @@
+#include "obs/attr.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+namespace vnet::obs {
+
+namespace {
+
+constexpr const char* kIntervalNames[kIntervalCount] = {
+    "os",           // kEnqueue  -> kDoorbell:   host send overhead
+    "nic_tx_wait",  // kDoorbell -> kNicPickup:  NIC service/scheduling wait
+    "nic_tx",       // kNicPickup-> kWireInject: NIC tx service (incl. SBUS)
+    "wire",         // kWireInject->kWireDeliver: fabric latency L
+    "nic_rx",       // kWireDeliver->kRxDeposit: NIC rx service (incl. SBUS)
+    "wake",         // kRxDeposit-> kHandlerWake: poll/thread wake latency
+    "or",           // kHandlerWake->kHandlerDone: receiver overhead
+};
+
+void merge_into(HistogramData& into, const HistogramData& from) {
+  if (from.count == 0) return;
+  if (into.count == 0) {
+    into = from;
+    return;
+  }
+  into.min_seen = std::min(into.min_seen, from.min_seen);
+  into.max_seen = std::max(into.max_seen, from.max_seen);
+  into.count += from.count;
+  into.sum += from.sum;
+  if (into.buckets.size() < from.buckets.size()) {
+    into.buckets.resize(from.buckets.size(), 0);
+  }
+  for (std::size_t b = 0; b < from.buckets.size(); ++b) {
+    into.buckets[b] += from.buckets[b];
+  }
+}
+
+}  // namespace
+
+const char* interval_name(unsigned i) {
+  return i < kIntervalCount ? kIntervalNames[i] : "?";
+}
+
+bool AttrRecorder::begin(std::uint32_t src_node, std::uint32_t src_ep,
+                         std::uint64_t msg_id, std::int64_t t_ns) {
+  if (interval_ == 0) return false;
+  if (seq_++ % interval_ != 0) return false;
+  if (flights_.size() >= kMaxInflight) return false;
+  Flight f;
+  f.node = src_node;
+  f.ep = src_ep;
+  f.at.fill(-1);
+  f.at[static_cast<unsigned>(Stage::kEnqueue)] = t_ns;
+  flights_[key(src_node, src_ep, msg_id)] = f;
+  ++tracked_;
+  return true;
+}
+
+void AttrRecorder::stamp(std::uint64_t k, Stage s, std::int64_t t_ns) {
+  auto it = flights_.find(k);
+  if (it == flights_.end()) return;
+  std::int64_t& slot = it->second.at[static_cast<unsigned>(s)];
+  if (slot < 0) slot = t_ns;
+}
+
+void AttrRecorder::finish(std::uint64_t k, std::int64_t t_ns) {
+  auto it = flights_.find(k);
+  if (it == flights_.end()) return;
+  Flight& f = it->second;
+  std::int64_t& done = f.at[static_cast<unsigned>(Stage::kHandlerDone)];
+  if (done < 0) done = t_ns;
+  EpHists& h = hists_for(f.node, f.ep);
+  for (unsigned i = 0; i < kIntervalCount; ++i) {
+    // Locally delivered messages never cross the wire; their flights have
+    // gaps, and only intervals with both endpoints present are attributed.
+    if (f.at[i] >= 0 && f.at[i + 1] >= 0) {
+      h.stage[i].record(static_cast<double>(f.at[i + 1] - f.at[i]));
+    }
+  }
+  const std::int64_t t0 = f.at[static_cast<unsigned>(Stage::kEnqueue)];
+  if (t0 >= 0) h.e2e.record(static_cast<double>(done - t0));
+  flights_.erase(it);
+  ++completed_;
+}
+
+AttrRecorder::EpHists& AttrRecorder::hists_for(std::uint32_t node,
+                                               std::uint32_t ep) {
+  const std::uint64_t k = (static_cast<std::uint64_t>(node) << 32) | ep;
+  auto it = ep_hists_.find(k);
+  if (it != ep_hists_.end()) return it->second;
+  const std::string prefix = "host." + std::to_string(node) + ".ep." +
+                             std::to_string(ep) + ".attr.";
+  EpHists h;
+  for (unsigned i = 0; i < kIntervalCount; ++i) {
+    h.stage[i] = reg_->histogram(prefix + kIntervalNames[i]);
+  }
+  h.e2e = reg_->histogram(prefix + "e2e");
+  return ep_hists_.emplace(k, h).first->second;
+}
+
+double AttrSummary::stage_sum_mean_ns() const {
+  double s = 0;
+  for (const HistogramData& h : stages) s += h.mean();
+  return s;
+}
+
+AttrSummary summarize_attr(const Snapshot& snap) {
+  AttrSummary out;
+  for (const auto& [name, data] : snap.histograms) {
+    const std::size_t pos = name.find(".attr.");
+    if (pos == std::string::npos) continue;
+    const std::string leaf = name.substr(pos + 6);
+    if (leaf == "e2e") {
+      merge_into(out.e2e, data);
+      continue;
+    }
+    for (unsigned i = 0; i < kIntervalCount; ++i) {
+      if (leaf == kIntervalNames[i]) {
+        merge_into(out.stages[i], data);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string render_attr_report(const Snapshot& snap) {
+  const AttrSummary s = summarize_attr(snap);
+  if (s.e2e.count == 0) return {};
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-12s %8s %9s %9s %9s %9s\n", "stage",
+                "count", "mean_us", "p50_us", "p95_us", "max_us");
+  out += line;
+  auto row = [&](const char* name, const HistogramData& h) {
+    std::snprintf(line, sizeof(line), "%-12s %8llu %9.3f %9.3f %9.3f %9.3f\n",
+                  name, static_cast<unsigned long long>(h.count),
+                  h.mean() / 1e3, h.quantile(0.5) / 1e3,
+                  h.quantile(0.95) / 1e3, h.max_seen / 1e3);
+    out += line;
+  };
+  for (unsigned i = 0; i < kIntervalCount; ++i) {
+    row(kIntervalNames[i], s.stages[i]);
+  }
+  row("e2e", s.e2e);
+  const double sum = s.stage_sum_mean_ns();
+  const double e2e = s.e2e.mean();
+  const double delta = e2e > 0 ? (sum - e2e) / e2e * 100.0 : 0.0;
+  std::snprintf(line, sizeof(line),
+                "stage sum of means %.3f us vs measured e2e mean %.3f us "
+                "(delta %+.2f%%)\n",
+                sum / 1e3, e2e / 1e3, delta);
+  out += line;
+  return out;
+}
+
+}  // namespace vnet::obs

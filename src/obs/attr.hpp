@@ -1,0 +1,141 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "obs/metrics.hpp"
+
+namespace vnet::obs {
+
+/// Per-message latency attribution (DESIGN.md §8).
+///
+/// An AttrRecorder is a message flight recorder: layers stamp a tracked
+/// message at each pipeline boundary it crosses, and when the message
+/// finishes the recorder folds the per-stage deltas into registry
+/// histograms under `host.<node>.ep.<ep>.attr.<stage>`. Summed over a run
+/// this reproduces the paper's Figure 3 LogP decomposition (o_s, NIC
+/// service, wire L, o_r) from live traffic instead of dedicated
+/// microbenchmarks.
+///
+/// obs depends on nothing above it: timestamps are plain nanosecond
+/// integers supplied by the stamping layer, and the recorder is reached
+/// through sim::Engine (which owns one next to the MetricsRegistry).
+
+/// The pipeline boundaries of one message, in crossing order. Between
+/// consecutive boundaries lies one attributed stage (see interval_name).
+enum class Stage : unsigned {
+  kEnqueue = 0,   ///< application began writing the send descriptor
+  kDoorbell,      ///< host finished the descriptor write and rang the NIC
+  kNicPickup,     ///< NIC tx service picked the descriptor up
+  kWireInject,    ///< first fragment handed to the fabric
+  kWireDeliver,   ///< last fragment delivered by the final hop
+  kRxDeposit,     ///< NIC deposited the message in the receive queue
+  kHandlerWake,   ///< polling thread dequeued the message
+  kHandlerDone,   ///< application handler returned
+};
+
+inline constexpr unsigned kStageCount = 8;
+inline constexpr unsigned kIntervalCount = kStageCount - 1;
+
+/// Leaf metric name of interval `i` (the stage ending at boundary i+1):
+/// "os", "nic_tx_wait", "nic_tx", "wire", "nic_rx", "wake", "or".
+const char* interval_name(unsigned i);
+
+class AttrRecorder {
+ public:
+  explicit AttrRecorder(MetricsRegistry& reg) : reg_(&reg) {}
+
+  AttrRecorder(const AttrRecorder&) = delete;
+  AttrRecorder& operator=(const AttrRecorder&) = delete;
+
+  /// Sampling-rate knob: track one in every `n` sent messages. 0 disables
+  /// tracking entirely (the default) — stamp sites then cost one branch —
+  /// and 1 tracks every message.
+  void set_sample_interval(std::uint32_t n) { interval_ = n; }
+  std::uint32_t sample_interval() const { return interval_; }
+  bool enabled() const { return interval_ != 0; }
+
+  /// Flight key. Node ids and endpoint ids are small in any simulated
+  /// cluster (< 2^16) and per-endpoint message ids stay well under 2^32,
+  /// so the triple packs losslessly into 64 bits.
+  static std::uint64_t key(std::uint32_t src_node, std::uint32_t src_ep,
+                           std::uint64_t msg_id) {
+    return (static_cast<std::uint64_t>(src_node & 0xffffu) << 48) |
+           (static_cast<std::uint64_t>(src_ep & 0xffffu) << 32) |
+           (msg_id & 0xffffffffu);
+  }
+
+  /// Admission point, called at the kEnqueue boundary (`t_ns` may be
+  /// earlier than "now": the caller learns the message id only after the
+  /// descriptor write it is timing). Applies the sampling knob; returns
+  /// true if the message is now tracked.
+  bool begin(std::uint32_t src_node, std::uint32_t src_ep,
+             std::uint64_t msg_id, std::int64_t t_ns);
+
+  /// Records boundary `s` of a tracked flight. Unknown keys are ignored
+  /// (the message was not sampled); repeated stamps keep the first value,
+  /// which is what makes retransmissions and multi-fragment messages
+  /// attribute to first pickup / first injection.
+  void stamp(std::uint64_t k, Stage s, std::int64_t t_ns);
+
+  /// Final boundary: stamps kHandlerDone, folds every present interval
+  /// (plus end-to-end) into the source endpoint's histograms, and forgets
+  /// the flight.
+  void finish(std::uint64_t k, std::int64_t t_ns);
+
+  /// Forgets a flight without recording (message returned to sender or
+  /// dropped by an unreliable transport).
+  void drop(std::uint64_t k) { flights_.erase(k); }
+
+  std::size_t inflight() const { return flights_.size(); }
+  std::uint64_t tracked() const { return tracked_; }
+  std::uint64_t completed() const { return completed_; }
+
+ private:
+  struct Flight {
+    std::uint32_t node = 0;
+    std::uint32_t ep = 0;
+    std::array<std::int64_t, kStageCount> at;
+  };
+  struct EpHists {
+    std::array<Histogram, kIntervalCount> stage;
+    Histogram e2e;
+  };
+
+  EpHists& hists_for(std::uint32_t node, std::uint32_t ep);
+
+  /// Messages sent but never finished (returns, GAM drops, still-running
+  /// workloads) would otherwise accumulate; cap the table.
+  static constexpr std::size_t kMaxInflight = 1 << 16;
+
+  MetricsRegistry* reg_;
+  std::uint32_t interval_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t tracked_ = 0;
+  std::uint64_t completed_ = 0;
+  std::unordered_map<std::uint64_t, Flight> flights_;
+  std::unordered_map<std::uint64_t, EpHists> ep_hists_;
+};
+
+/// Cluster-wide attribution summary extracted from a Snapshot: each stage's
+/// histogram merged across every endpoint, in pipeline order.
+struct AttrSummary {
+  std::array<HistogramData, kIntervalCount> stages;
+  HistogramData e2e;
+
+  /// Sum of per-stage means — should reconcile with e2e.mean() when the
+  /// traffic was remote and every tracked message ran to completion.
+  double stage_sum_mean_ns() const;
+};
+
+AttrSummary summarize_attr(const Snapshot& snap);
+
+/// The LogP report: per-stage count/mean/p50/p95/max table (in
+/// microseconds) followed by the stage-sum vs measured end-to-end
+/// reconciliation line. Returns "" if the snapshot holds no attribution
+/// data.
+std::string render_attr_report(const Snapshot& snap);
+
+}  // namespace vnet::obs

@@ -1,0 +1,70 @@
+#include "obs/sampler.hpp"
+
+#include <cstdio>
+#include <set>
+
+namespace vnet::obs {
+
+bool Sampler::admits(const std::string& name) const {
+  if (cfg_.prefixes.empty()) return true;
+  for (const std::string& p : cfg_.prefixes) {
+    if (name.compare(0, p.size(), p) == 0) return true;
+  }
+  return false;
+}
+
+void Sampler::sample(std::int64_t now_ns) {
+  Snapshot snap = reg_->snapshot(now_ns);
+  if (!have_base_) {
+    last_ = std::move(snap);
+    have_base_ = true;
+    return;
+  }
+  const Snapshot window = diff(snap, last_);
+  Row row;
+  row.end_ns = now_ns;
+  row.window_ns = now_ns - last_.at_ns;
+  for (const auto& [name, v] : window.counters) {
+    if (admits(name)) row.cells[name] = static_cast<double>(v);
+  }
+  for (const auto& [name, v] : window.gauges) {
+    if (admits(name)) row.cells[name] = v;
+  }
+  for (const auto& [name, h] : window.histograms) {
+    if (!admits(name)) continue;
+    row.cells[name + ".count"] = static_cast<double>(h.count);
+    row.cells[name + ".mean"] = h.mean();
+  }
+  rows_.push_back(std::move(row));
+  last_ = std::move(snap);
+}
+
+std::string Sampler::csv() const {
+  std::set<std::string> cols;
+  for (const Row& r : rows_) {
+    for (const auto& [name, v] : r.cells) cols.insert(name);
+  }
+  std::string out = "window_end_ns,window_ns";
+  for (const std::string& c : cols) {
+    out += ',';
+    out += c;
+  }
+  out += '\n';
+  char buf[64];
+  for (const Row& r : rows_) {
+    std::snprintf(buf, sizeof(buf), "%lld,%lld",
+                  static_cast<long long>(r.end_ns),
+                  static_cast<long long>(r.window_ns));
+    out += buf;
+    for (const std::string& c : cols) {
+      auto it = r.cells.find(c);
+      const double v = it != r.cells.end() ? it->second : 0.0;
+      std::snprintf(buf, sizeof(buf), ",%.10g", v);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace vnet::obs

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace vnet::obs {
+
+/// Stall watchdogs (DESIGN.md §8): registry-driven detectors that name the
+/// component that stopped making progress. The caller invokes check() once
+/// per watch window of simulated time; each check snapshots the registry,
+/// diffs against the previous window, and fires an event per rule/subject
+/// that stalled across the whole window:
+///
+///   channel-stall — a NIC holds busy channels but saw zero acks, nacks or
+///                   message completions (e.g. every route to the peer is
+///                   down and retransmissions vanish into the dead trunk);
+///   frame-loiter  — a NIC has unfinished send descriptors but transmitted
+///                   nothing at all, not even a retransmission;
+///   link-pegged   — back-pressure pinned one link at (near) 100% occupancy
+///                   for the entire window.
+///
+/// Events accumulate for render_summary() (one row per rule/subject, wired
+/// into the chaos scenario reports) and optionally invoke an on_fire hook,
+/// which chaos uses to drop trace instants at the moment of detection.
+struct WatchdogConfig {
+  /// Watch-window length the caller promises to check() at; occupancy is
+  /// computed against the actual spacing of check() calls.
+  std::int64_t window_ns = 500'000;
+  /// Serialization cost of the watched links; 0 disables the link-pegged
+  /// rule (occupancy cannot be computed without it).
+  double link_ns_per_byte = 0.0;
+  double link_occupancy_threshold = 0.99;
+};
+
+struct WatchdogEvent {
+  std::int64_t at_ns = 0;
+  std::string rule;
+  std::string subject;
+  std::string detail;
+};
+
+class Watchdog {
+ public:
+  Watchdog(const MetricsRegistry& reg, WatchdogConfig cfg)
+      : reg_(&reg), cfg_(cfg) {}
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  void set_on_fire(std::function<void(const WatchdogEvent&)> hook) {
+    on_fire_ = std::move(hook);
+  }
+
+  /// Evaluates every rule over the window since the previous check. The
+  /// first call only establishes the baseline.
+  void check(std::int64_t now_ns);
+
+  const std::vector<WatchdogEvent>& events() const { return events_; }
+  const WatchdogConfig& config() const { return cfg_; }
+
+  /// One row per (rule, subject): windows fired, first and last firing
+  /// time. Returns "" if nothing ever fired.
+  std::string render_summary() const;
+
+ private:
+  void fire(std::int64_t now_ns, const char* rule, std::string subject,
+            std::string detail);
+
+  const MetricsRegistry* reg_;
+  WatchdogConfig cfg_;
+  std::function<void(const WatchdogEvent&)> on_fire_;
+  bool have_base_ = false;
+  Snapshot last_;
+  std::vector<WatchdogEvent> events_;
+};
+
+}  // namespace vnet::obs

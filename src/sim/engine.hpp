@@ -2,8 +2,10 @@
 
 #include <coroutine>
 #include <cstdint>
+#include <functional>
 #include <unordered_set>
 
+#include "obs/attr.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
@@ -59,6 +61,16 @@ class Engine {
   /// Schedules `fn` after a relative delay `d` (must be >= 0).
   void after(Duration d, UniqueFunction fn) {
     queue_.push(now_ + d, std::move(fn));
+  }
+
+  /// Runs `fn` every `d` nanoseconds until it returns false. The stop
+  /// condition matters: run()/chaos drains execute until the queue is
+  /// empty, so an unconditionally re-arming tick would never let them
+  /// finish.
+  void every(Duration d, std::function<bool()> fn) {
+    after(d, [this, d, fn = std::move(fn)]() mutable {
+      if (fn()) every(d, std::move(fn));
+    });
   }
 
   /// Schedules coroutine `h` to be resumed at the current time, after all
@@ -119,6 +131,11 @@ class Engine {
   /// Simulated-time tracer; its clock is this engine's clock.
   obs::Tracer& tracer() { return tracer_; }
 
+  /// Per-message latency attribution recorder (see obs/attr.hpp). Disabled
+  /// by default; stamp sites throughout the stack cost one branch until
+  /// attr().set_sample_interval(n) turns tracking on.
+  obs::AttrRecorder& attr() { return attr_; }
+
   std::size_t pending_events() const { return queue_.size(); }
   std::size_t live_processes() const { return processes_.size(); }
   std::uint64_t events_processed() const { return events_processed_; }
@@ -138,6 +155,7 @@ class Engine {
   EventQueue queue_;
   Rng rng_;
   obs::MetricsRegistry metrics_;
+  obs::AttrRecorder attr_{metrics_};
   obs::Tracer tracer_;
   std::unordered_set<void*> processes_;
   std::uint64_t events_processed_ = 0;

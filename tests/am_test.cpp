@@ -104,7 +104,11 @@ TEST(AmApi, CreditWindowBoundsOutstandingRequests) {
       max_outstanding = std::max(max_outstanding, ep->credits_in_use());
     }
     while (ep->credits_in_use() > 0) co_await ep->poll(t);
-    EXPECT_GT(ep->stats().send_stalls, 0u);  // the window really bound us
+    // The window really bound us.
+    EXPECT_GT(t.engine().snapshot().counter(
+                  "host.0.ep." + std::to_string(ep->name().ep) +
+                  ".send_stalls"),
+              0u);
   });
 
   cl.run_to_completion();
@@ -275,7 +279,7 @@ TEST(AmApi, ManyEndpointsOvercommitFramesAndStillDeliver) {
     EXPECT_EQ(count, 1) << "message " << key << " duplicated";
   }
   // 12 client endpoints + 1 elsewhere exceed 8 frames: eviction happened.
-  EXPECT_GT(cl.host(0).driver().stats().evictions, 0u);
+  EXPECT_GT(cl.engine().snapshot().counter("host.0.driver.evictions"), 0u);
 }
 
 TEST(AmApi, SharedEndpointServesTwoThreads) {

@@ -53,6 +53,12 @@ class ExtensionTest : public ::testing::Test {
     nics_[side]->doorbell(eps_[side]);
   }
 
+  /// Reads one NIC counter for `node` from the engine's metric registry.
+  std::uint64_t nic_counter(int node, const std::string& leaf) {
+    return eng_.snapshot().counter("host." + std::to_string(node) + ".nic." +
+                                   leaf);
+  }
+
   sim::Engine eng_{17};
   NicConfig cfg_;
   std::unique_ptr<myrinet::Fabric> fabric_;
@@ -78,10 +84,9 @@ TEST_F(ExtensionTest, PiggybackReducesStandaloneAcks) {
   eng_.run();
   EXPECT_EQ(eps_[0].msgs_sent, 100u);
   EXPECT_EQ(eps_[1].msgs_sent, 100u);
-  const auto& s = nics_[0]->stats();
-  EXPECT_GT(s.acks_piggybacked, 40u);  // most acks rode data frames
+  EXPECT_GT(nic_counter(0, "acks_piggybacked"), 40u);  // rode data frames
   // Far fewer standalone ack packets than messages received.
-  EXPECT_LT(s.acks_sent, 60u);
+  EXPECT_LT(nic_counter(0, "acks_sent"), 60u);
 }
 
 TEST_F(ExtensionTest, PiggybackFlushCoversOneWayTraffic) {
@@ -94,8 +99,8 @@ TEST_F(ExtensionTest, PiggybackFlushCoversOneWayTraffic) {
   // No reverse data: every ack needed a deadline flush, and the sender
   // still completed every message.
   EXPECT_EQ(eps_[0].msgs_sent, 50u);
-  EXPECT_GT(nics_[1]->stats().piggy_flushes, 0u);
-  EXPECT_EQ(nics_[1]->stats().acks_piggybacked, 0u);
+  EXPECT_GT(nic_counter(1, "piggy_flushes"), 0u);
+  EXPECT_EQ(nic_counter(1, "acks_piggybacked"), 0u);
 }
 
 TEST_F(ExtensionTest, PiggybackExactlyOnceUnderLoss) {
@@ -184,7 +189,7 @@ TEST_F(ExtensionTest, AdaptiveAvoidsSpuriousBulkRetransmissions) {
     n0.doorbell(a);
     eng.run();
     EXPECT_EQ(a.msgs_sent, 40u);
-    return n0.stats().retransmissions;
+    return eng.snapshot().counter("host.0.nic.retransmissions");
   };
   const auto fixed = run_case(false);
   const auto adaptive = run_case(true);
@@ -210,7 +215,7 @@ TEST_F(ExtensionTest, AdaptiveStillRecoversFromRealLoss) {
   eng_.run();
   ASSERT_EQ(seen.size(), 60u);
   for (int i = 0; i < 60; ++i) EXPECT_EQ(seen.count(i), 1u) << i;
-  EXPECT_GT(nics_[0]->stats().retransmissions, 0u);
+  EXPECT_GT(nic_counter(0, "retransmissions"), 0u);
 }
 
 TEST_F(ExtensionTest, BothExtensionsComposeUnderLoss) {

@@ -92,6 +92,13 @@ class NicTest : public ::testing::Test {
     return id;
   }
 
+  /// Reads one NIC counter for `node` from the engine's metric registry
+  /// (the NIC publishes under `host.<node>.nic.*`).
+  std::uint64_t nic_counter(int node, const std::string& leaf) {
+    return eng_.snapshot().counter("host." + std::to_string(node) + ".nic." +
+                                   leaf);
+  }
+
   sim::Engine eng_{7};
   NicConfig cfg_;
   std::unique_ptr<myrinet::Fabric> fabric_;
@@ -123,9 +130,9 @@ TEST_F(NicTest, ShortMessageDeliversEndToEnd) {
   EXPECT_EQ(src->msgs_sent, 1u);
   EXPECT_TRUE(src->send_queue.empty());  // swept after the ack
   EXPECT_EQ(dst->msgs_delivered, 1u);
-  EXPECT_EQ(nics_[0]->stats().acks_received, 1u);
-  EXPECT_EQ(nics_[1]->stats().acks_sent, 1u);
-  EXPECT_EQ(nics_[0]->stats().retransmissions, 0u);
+  EXPECT_EQ(nic_counter(0, "acks_received"), 1u);
+  EXPECT_EQ(nic_counter(1, "acks_sent"), 1u);
+  EXPECT_EQ(nic_counter(0, "retransmissions"), 0u);
 }
 
 TEST_F(NicTest, ReplyDeliversToReplyQueue) {
@@ -171,7 +178,7 @@ TEST_F(NicTest, LocalLoopbackBypassesFabric) {
   eng_.run();
   ASSERT_EQ(b->recv_requests.size(), 1u);
   EXPECT_EQ(b->recv_requests.front().body.args[0], 11u);
-  EXPECT_EQ(nics_[0]->stats().local_deliveries, 1u);
+  EXPECT_EQ(nic_counter(0, "local_deliveries"), 1u);
   EXPECT_EQ(fabric_->station(0).packets_injected(), 0u);
   EXPECT_EQ(a->msgs_sent, 1u);
 }
@@ -189,8 +196,8 @@ TEST_F(NicTest, BulkMessageFragmentsAndReassembles) {
 
   ASSERT_EQ(dst->recv_requests.size(), 1u);  // delivered exactly once
   EXPECT_EQ(dst->recv_requests.front().body.bulk_bytes, 10'000u);
-  EXPECT_EQ(nics_[0]->stats().data_sent, 3u);
-  EXPECT_EQ(nics_[1]->stats().acks_sent, 3u);
+  EXPECT_EQ(nic_counter(0, "data_sent"), 3u);
+  EXPECT_EQ(nic_counter(1, "acks_sent"), 3u);
   EXPECT_EQ(dst->msgs_delivered, 1u);
   EXPECT_EQ(src->msgs_sent, 1u);
   // Receive-side SBUS DMA moved the payload to host memory.
@@ -291,8 +298,9 @@ TEST_F(NicTest, NonResidentDestinationNacksAndRequestsRemap) {
   EXPECT_TRUE(dst->recv_requests.empty());
   ASSERT_EQ(remap_requests.size(), 1u);  // deduplicated
   EXPECT_EQ(remap_requests[0], 2u);
-  EXPECT_GT(nics_[1]->stats().nacks_sent_by_reason[static_cast<int>(
-                NackReason::kNotResident)],
+  EXPECT_GT(nic_counter(1, "nacks_sent_by_reason." +
+                               std::to_string(static_cast<int>(
+                                   NackReason::kNotResident))),
             0u);
 
   // Driver responds: load the endpoint; the retransmission delivers it.
@@ -337,8 +345,9 @@ TEST_F(NicTest, ReceiveQueueOverrunNacksThenRecovers) {
     EXPECT_EQ(seen.count(static_cast<std::uint64_t>(i)), 1u) << i;
   }
   EXPECT_GT(dst->recv_overruns, 0u);
-  EXPECT_GT(nics_[1]->stats().nacks_sent_by_reason[static_cast<int>(
-                NackReason::kQueueFull)],
+  EXPECT_GT(nic_counter(1, "nacks_sent_by_reason." +
+                               std::to_string(static_cast<int>(
+                                   NackReason::kQueueFull))),
             0u);
 }
 
@@ -394,10 +403,10 @@ TEST_P(NicLossTest, ExactlyOnceUnderFaults) {
         << "message " << i << " not delivered exactly once";
   }
   if (GetParam().drop + GetParam().corrupt > 0) {
-    EXPECT_GT(nics_[0]->stats().retransmissions, 0u);
+    EXPECT_GT(nic_counter(0, "retransmissions"), 0u);
   }
   if (GetParam().corrupt > 0) {
-    EXPECT_GT(nics_[1]->stats().crc_drops, 0u);
+    EXPECT_GT(nic_counter(1, "crc_drops"), 0u);
   }
 }
 
@@ -433,7 +442,7 @@ TEST_F(NicTest, HeavyAckLossSuppressesDuplicates) {
   EXPECT_EQ(dst->msgs_delivered, 20u);
   // With 35% loss, some data frames were accepted but their acks were
   // lost; the retransmitted copies must be recognized as duplicates.
-  EXPECT_GT(nics_[1]->stats().duplicates_suppressed, 0u);
+  EXPECT_GT(nic_counter(1, "duplicates_suppressed"), 0u);
 }
 
 // ---------------------------------------------------- unreachable peers
@@ -461,7 +470,7 @@ TEST_F(NicTest, UnreachableDestinationReturnsToSender) {
   EXPECT_GE(returned_at, 20 * sim::ms);
   EXPECT_LT(returned_at, 200 * sim::ms);
   EXPECT_TRUE(dst->recv_requests.empty());
-  EXPECT_GT(nics_[0]->stats().retransmissions, 0u);
+  EXPECT_GT(nic_counter(0, "retransmissions"), 0u);
 }
 
 TEST_F(NicTest, StuckChannelUnbindsAndOtherTrafficFlows) {
@@ -484,7 +493,7 @@ TEST_F(NicTest, StuckChannelUnbindsAndOtherTrafficFlows) {
   eng_.run_for(100 * sim::ms);
 
   EXPECT_EQ(alive->msgs_delivered, 50u);  // unaffected by the dead peer
-  EXPECT_GT(nics_[0]->stats().channel_unbinds, 0u);
+  EXPECT_GT(nic_counter(0, "channel_unbinds"), 0u);
   EXPECT_TRUE(dead->recv_requests.empty());
 }
 
@@ -553,7 +562,7 @@ TEST_F(NicTest, UnloadQuiescesInFlightMessagesFirst) {
 
   EXPECT_TRUE(done.is_open());
   EXPECT_FALSE(src->resident());
-  EXPECT_EQ(nics_[0]->stats().frames_unloaded, 1u);
+  EXPECT_EQ(nic_counter(0, "frames_unloaded"), 1u);
   // The message is incomplete: its unsent fragments were stranded when the
   // endpoint was unloaded, exactly like a de-scheduled process's endpoint.
   EXPECT_EQ(src->msgs_sent, 0u);
@@ -648,8 +657,8 @@ TEST_F(NicTest, GamModeDeliversWithoutAcks) {
   for (int i = 0; i < 10; ++i) post_request(src, 0, 1, i);
   eng_.run();
   EXPECT_EQ(dst->msgs_delivered, 10u);
-  EXPECT_EQ(nics_[1]->stats().acks_sent, 0u);
-  EXPECT_EQ(nics_[0]->stats().acks_received, 0u);
+  EXPECT_EQ(nic_counter(1, "acks_sent"), 0u);
+  EXPECT_EQ(nic_counter(0, "acks_received"), 0u);
   EXPECT_EQ(src->msgs_sent, 10u);
 }
 
@@ -663,7 +672,7 @@ TEST_F(NicTest, GamModeDropsOnOverrun) {
   for (int i = 0; i < 40; ++i) post_request(src, 0, 1, i);  // depth is 32
   eng_.run();
   EXPECT_EQ(dst->recv_requests.size(), 32u);
-  EXPECT_EQ(nics_[1]->stats().gam_drops, 8u);
+  EXPECT_EQ(nic_counter(1, "gam_drops"), 8u);
   EXPECT_EQ(dst->recv_overruns, 8u);
 }
 
@@ -725,7 +734,8 @@ TEST_F(NicTest, RunsAreDeterministic) {
     n0.doorbell(a);
     eng.run();
     return std::make_tuple(eng.now(), eng.events_processed(),
-                           n0.stats().retransmissions, b.msgs_delivered);
+                           eng.snapshot().counter("host.0.nic.retransmissions"),
+                           b.msgs_delivered);
   };
   EXPECT_EQ(run_once(5), run_once(5));
   // A different seed changes the loss pattern, so the run as a whole (end

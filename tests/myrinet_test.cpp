@@ -9,6 +9,7 @@
 
 #include "myrinet/fabric.hpp"
 #include "myrinet/packet.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 #include "sim/process.hpp"
 
@@ -376,15 +377,9 @@ TEST(Faults, PerLinkDropAccountingSplitsDownFromFault) {
   EXPECT_EQ(f->total_dropped_down(), 1u);
   EXPECT_EQ(f->total_dropped_fault(), 1u);
 
-  const auto stats = f->link_stats();
-  std::uint64_t down = 0, fault = 0;
-  for (const auto& s : stats) {
-    EXPECT_FALSE(s.label.empty());
-    down += s.dropped_down;
-    fault += s.dropped_fault;
-  }
-  EXPECT_EQ(down, 1u);
-  EXPECT_EQ(fault, 1u);
+  const obs::Snapshot snap = eng.snapshot();
+  EXPECT_EQ(snap.sum_counters("fabric.link.", ".drops_down"), 1u);
+  EXPECT_EQ(snap.sum_counters("fabric.link.", ".drops_fault"), 1u);
 }
 
 TEST(Faults, HostUnplugAndReplug) {

@@ -418,7 +418,7 @@ RunArtifacts traced_ping_pong() {
   return out;
 }
 
-TEST(ObsIntegration, RegistrySeesWholeStackAndStatsShimsAgree) {
+TEST(ObsIntegration, RegistrySeesWholeStack) {
   cluster::Cluster cl(cluster::NowConfig(2));
 
   struct Shared {
@@ -452,18 +452,14 @@ TEST(ObsIntegration, RegistrySeesWholeStackAndStatsShimsAgree) {
     co_await ep->request(t, 0, 1, 41);
     while (sh->got_reply == 0) co_await ep->poll(t);
 
-    // The deprecated value shim and the registry must agree exactly.
+    // Every layer publishes into the one registry namespace.
     const Snapshot snap = t.engine().snapshot();
     const std::string prefix =
         "host.0.ep." + std::to_string(ep->name().ep) + ".";
-    EXPECT_EQ(ep->stats().requests_sent,
-              snap.counter(prefix + "requests_sent"));
-    EXPECT_EQ(ep->stats().messages_handled,
-              snap.counter(prefix + "messages_handled"));
-    EXPECT_EQ(t.host().nic().stats().data_sent,
-              snap.counter("host.0.nic.data_sent"));
-    EXPECT_EQ(t.host().driver().stats().remaps,
-              snap.counter("host.0.driver.remaps"));
+    EXPECT_EQ(snap.counter(prefix + "requests_sent"), 1u);
+    EXPECT_EQ(snap.counter(prefix + "messages_handled"), 1u);
+    EXPECT_GE(snap.counter("host.0.nic.data_sent"), 1u);
+    EXPECT_GE(snap.counter("host.0.driver.remaps"), 1u);
     co_await ep->destroy(t);
   });
 

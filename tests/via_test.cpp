@@ -152,7 +152,8 @@ TEST(Via, EachViConsumesAnEndpoint) {
     for (int i = 0; i < 12; ++i) {
       vis.push_back(co_await Vi::create(t, cq, i));
     }
-    EXPECT_EQ(t.host().driver().stats().endpoints_created, 12u);
+    EXPECT_EQ(t.engine().snapshot().counter("host.0.driver.endpoints_created"),
+              12u);
   });
   cl.run_to_completion();
 }
