@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# Continuous perf gate: run the bench_engine microbenchmark suite and diff
+# it against the checked-in BENCH_engine.json baseline. Shared verbatim by
+# CI (.github/workflows/ci.yml) and local runs, mirroring scripts/check.sh.
+#
+# To absorb machine-speed differences between the machine that recorded the
+# baseline and the one running the gate, every rate is normalized by the
+# suite's calib_spin rate (a fixed ALU workload) before comparison; the
+# gate therefore checks the *shape* of the performance profile, not the
+# silicon. A normalized rate more than TOLERANCE below baseline fails.
+#
+# Usage: scripts/bench_gate.sh [--update] [--current PATH] [--quick]
+#   --update        refresh BENCH_engine.json from this machine and exit
+#   --current PATH  where to write the fresh results (default /tmp)
+#   --quick         single fast repetition (smoke only, noisier)
+# Env: BENCH_GATE_TOLERANCE  allowed fractional slowdown (default 0.15)
+#      JOBS                  build parallelism (default nproc)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+TOL="${BENCH_GATE_TOLERANCE:-0.15}"
+BASELINE=BENCH_engine.json
+CURRENT="${TMPDIR:-/tmp}/BENCH_engine.current.json"
+BENCH_FLAGS=()
+
+UPDATE=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --update) UPDATE=1 ;;
+    --current) CURRENT="$2"; shift ;;
+    --quick) BENCH_FLAGS+=(--quick) ;;
+    *) echo "usage: $0 [--update] [--current PATH] [--quick]" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+if [ ! -x build/bench/bench_engine ]; then
+  echo "== building bench_engine =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS" --target bench_engine
+fi
+
+echo "== running engine benchmark suite =="
+./build/bench/bench_engine --out "$CURRENT" ${BENCH_FLAGS[@]+"${BENCH_FLAGS[@]}"}
+
+if [ "$UPDATE" = 1 ]; then
+  cp "$CURRENT" "$BASELINE"
+  echo "baseline $BASELINE updated"
+  exit 0
+fi
+
+if [ ! -f "$BASELINE" ]; then
+  echo "error: no baseline $BASELINE; record one with $0 --update" >&2
+  exit 1
+fi
+
+echo "== comparing against $BASELINE (tolerance ${TOL}) =="
+python3 - "$BASELINE" "$CURRENT" "$TOL" <<'PY'
+import json, sys
+
+baseline_path, current_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+base = json.load(open(baseline_path))
+cur = json.load(open(current_path))
+
+def rates(doc):
+    return {b["name"]: float(b["rate"]) for b in doc["benchmarks"]}
+
+base_r, cur_r = rates(base), rates(cur)
+base_spin = base_r.get("calib_spin", 0.0)
+cur_spin = cur_r.get("calib_spin", 0.0)
+normalize = base_spin > 0 and cur_spin > 0
+if not normalize:
+    print("warning: calib_spin missing; comparing raw rates")
+
+rows, failed = [], []
+for name, b in base_r.items():
+    if name == "calib_spin":
+        continue
+    c = cur_r.get(name)
+    if c is None:
+        rows.append((name, b, None, None, "MISSING"))
+        failed.append(name)
+        continue
+    ratio = (c / cur_spin) / (b / base_spin) if normalize else c / b
+    if ratio < 1.0 - tol:
+        status = "REGRESSION"
+        failed.append(name)
+    elif ratio > 1.0 + tol:
+        status = "ok (faster; consider --update)"
+    else:
+        status = "ok"
+    rows.append((name, b, c, ratio, status))
+
+print(f"{'benchmark':<26} {'baseline':>14} {'current':>14} {'norm-ratio':>10}  status")
+for name, b, c, ratio, status in rows:
+    cs = f"{c:14.0f}" if c is not None else f"{'-':>14}"
+    rs = f"{ratio:10.3f}" if ratio is not None else f"{'-':>10}"
+    print(f"{name:<26} {b:14.0f} {cs} {rs}  {status}")
+
+if failed:
+    print(f"\nPERF GATE FAILED: {', '.join(failed)} "
+          f"regressed more than {tol:.0%} vs {baseline_path}")
+    sys.exit(1)
+print("\nperf gate passed")
+PY

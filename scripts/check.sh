@@ -1,42 +1,79 @@
 #!/usr/bin/env bash
-# Full pre-merge check: build the default and the ASan+UBSan configuration,
-# run the whole test suite in both, then run a small chaos matrix and verify
-# its output is deterministic (two runs, identical bytes).
+# Pre-merge check, shared verbatim by local runs and the CI matrix.
+#
+#   scripts/check.sh            # all configs serially (local pre-merge)
+#   scripts/check.sh default    # build + full tests + chaos determinism
+#   scripts/check.sh asan       # ASan+UBSan build + full tests + chaos run
+#   scripts/check.sh notrace    # tracing-compiled-out build + obs tests
+#
+# The compiler comes from the usual CC/CXX environment (the CI matrix sets
+# clang/clang++ on its clang legs). ccache is picked up automatically when
+# installed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
+CONFIG="${1:-all}"
 
-echo "== configure + build (default) =="
-cmake -B build -S . >/dev/null
-cmake --build build -j "$JOBS"
+CMAKE_EXTRA=()
+if command -v ccache >/dev/null 2>&1; then
+  CMAKE_EXTRA+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
 
-echo "== configure + build (ASan+UBSan) =="
-cmake -B build-asan -S . -DVNET_SANITIZE=ON >/dev/null
-cmake --build build-asan -j "$JOBS"
+do_default() {
+  echo "== configure + build (default) =="
+  cmake -B build -S . ${CMAKE_EXTRA[@]+"${CMAKE_EXTRA[@]}"} >/dev/null
+  cmake --build build -j "$JOBS"
 
-echo "== configure + build (tracing compiled out) =="
-cmake -B build-notrace -S . -DVNET_TRACING=OFF >/dev/null
-cmake --build build-notrace -j "$JOBS"
+  echo "== tests (default) =="
+  ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== tests (default) =="
-ctest --test-dir build --output-on-failure -j "$JOBS"
+  echo "== chaos matrix (determinism check) =="
+  ./build/bench/bench_chaos_matrix --seeds 2 | tee /tmp/chaos_matrix.1
+  ./build/bench/bench_chaos_matrix --seeds 2 >/tmp/chaos_matrix.2
+  diff -u /tmp/chaos_matrix.1 /tmp/chaos_matrix.2
+  echo "chaos matrix deterministic"
+}
 
-echo "== tests (ASan+UBSan) =="
-ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+do_asan() {
+  echo "== configure + build (ASan+UBSan) =="
+  cmake -B build-asan -S . -DVNET_SANITIZE=ON \
+    ${CMAKE_EXTRA[@]+"${CMAKE_EXTRA[@]}"} >/dev/null
+  cmake --build build-asan -j "$JOBS"
 
-echo "== tests (tracing compiled out) =="
-# Includes the Trace.MacroCompileConfigIsZeroCost guard, which asserts the
-# VNET_TRACE_* macros expand to nothing in this configuration.
-ctest --test-dir build-notrace --output-on-failure -j "$JOBS" -R "Trace\.|Metrics\.|ObsIntegration\.|Attr\.|Sampler\.|Watchdog\."
+  echo "== tests (ASan+UBSan) =="
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "== chaos matrix (determinism check) =="
-./build/bench/bench_chaos_matrix --seeds 2 | tee /tmp/chaos_matrix.1
-./build/bench/bench_chaos_matrix --seeds 2 >/tmp/chaos_matrix.2
-diff -u /tmp/chaos_matrix.1 /tmp/chaos_matrix.2
-echo "chaos matrix deterministic"
+  echo "== chaos matrix (ASan) =="
+  ./build-asan/bench/bench_chaos_matrix --seeds 1 >/dev/null
+}
 
-echo "== chaos matrix (ASan) =="
-./build-asan/bench/bench_chaos_matrix --seeds 1 >/dev/null
+do_notrace() {
+  echo "== configure + build (tracing compiled out) =="
+  cmake -B build-notrace -S . -DVNET_TRACING=OFF \
+    ${CMAKE_EXTRA[@]+"${CMAKE_EXTRA[@]}"} >/dev/null
+  cmake --build build-notrace -j "$JOBS"
 
-echo "ALL CHECKS PASSED"
+  echo "== tests (tracing compiled out) =="
+  # Includes the Trace.MacroCompileConfigIsZeroCost guard, which asserts the
+  # VNET_TRACE_* macros expand to nothing in this configuration.
+  ctest --test-dir build-notrace --output-on-failure -j "$JOBS" \
+    -R "Trace\.|Metrics\.|ObsIntegration\.|Attr\.|Sampler\.|Watchdog\.|EventQueue\."
+}
+
+case "$CONFIG" in
+  default) do_default ;;
+  asan) do_asan ;;
+  notrace) do_notrace ;;
+  all)
+    do_default
+    do_asan
+    do_notrace
+    ;;
+  *)
+    echo "usage: $0 [default|asan|notrace|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "ALL CHECKS PASSED ($CONFIG)"

@@ -793,6 +793,7 @@ sim::Task<> Nic::handle_ack_or_nack(const Frame& f) {
       ch.epoch = f.epoch;
       ch.pending.epoch = f.epoch;
       ch.timer_gen++;
+      disarm_timer(ch);
       due_retransmits_.push_back(&ch);
     }
     counters_.nacks_received.inc();
@@ -812,6 +813,7 @@ sim::Task<> Nic::handle_ack_or_nack(const Frame& f) {
     const std::uint64_t msg = ch.pending.msg_id;
     ch.busy = false;
     ch.timer_gen++;
+    disarm_timer(ch);
     return_to_sender(*ep, msg, f.nack);
     co_return;
   }
@@ -820,6 +822,7 @@ sim::Task<> Nic::handle_ack_or_nack(const Frame& f) {
   // retry delay starts from the (short) nack base, not the loss timeout.
   ch.consecutive_retries++;
   ch.timer_gen++;
+  disarm_timer(ch);
   arm_timer(ch, nack_backoff(ch.consecutive_retries));
 }
 
@@ -834,6 +837,7 @@ void Nic::complete_fragment_ack(ChannelState& ch, const Frame& ack) {
   EndpointState& ep = *ch.src_ep;
   ch.busy = false;
   ch.timer_gen++;
+  disarm_timer(ch);
   ch.consecutive_retries = 0;
   SendDescriptor* desc = find_descriptor(ep, ack.msg_id);
   work_.notify_all();  // a channel freed: senders may proceed
@@ -863,7 +867,7 @@ void Nic::arm_timer(ChannelState& ch, sim::Duration timeout) {
   const std::uint16_t index = ch.index;
   const std::uint64_t gen = ch.timer_gen;
   const std::uint64_t table_gen = channel_table_gen_;
-  engine_->after(timeout, [this, peer, index, gen, table_gen] {
+  ch.timer_ev = engine_->after(timeout, [this, peer, index, gen, table_gen] {
     if (table_gen != channel_table_gen_) return;  // armed before a reboot
     auto it = channels_.find(peer);
     if (it == channels_.end() || index >= it->second.size()) return;
@@ -873,6 +877,17 @@ void Nic::arm_timer(ChannelState& ch, sim::Duration timeout) {
       work_.notify_all();
     }
   });
+}
+
+void Nic::disarm_timer(ChannelState& ch) {
+  // The timer_gen guard alone already makes a stale firing harmless; the
+  // O(1) cancel additionally removes the dead event from the queue so acked
+  // channels leave nothing behind. Cancelling a fired/stale handle is a
+  // no-op.
+  if (ch.timer_ev.valid()) {
+    engine_->cancel(ch.timer_ev);
+    ch.timer_ev = sim::EventHandle{};
+  }
 }
 
 sim::Task<bool> Nic::handle_retransmit(ChannelState* ch) {
@@ -1153,6 +1168,7 @@ void Nic::abort_descriptor(EndpointState& ep, std::uint64_t msg_id) {
       if (ch.busy && ch.src_ep == &ep && ch.pending.msg_id == msg_id) {
         ch.busy = false;
         ch.timer_gen++;
+        disarm_timer(ch);
       }
     }
   }

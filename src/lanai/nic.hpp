@@ -184,6 +184,7 @@ class Nic {
     std::uint8_t next_seq = 0;
     std::uint32_t epoch = 1;
     std::uint64_t timer_gen = 0;
+    sim::EventHandle timer_ev;   // pending retransmit timer, if armed
     int consecutive_retries = 0;
     Frame pending;               // retransmission template
     EndpointState* src_ep = nullptr;
@@ -267,6 +268,7 @@ class Nic {
   ChannelState* find_free_channel(NodeId peer);
   std::vector<ChannelState>& channels_to(NodeId peer);
   void arm_timer(ChannelState& ch, sim::Duration timeout);
+  void disarm_timer(ChannelState& ch);
   sim::Duration backoff_for(const ChannelState& ch, int consecutive) const;
   sim::Duration nack_backoff(int consecutive) const;
   SendDescriptor* find_descriptor(EndpointState& ep, std::uint64_t msg_id);

@@ -39,6 +39,19 @@ class Engine {
     metrics_.gauge_fn("sim.live_processes", [this] {
       return static_cast<double>(processes_.size());
     });
+    // Scheduling allocator health: oversized closures served from the slab
+    // arena vs. spilled to the heap (see sim/arena.hpp). A workload whose
+    // fallback counter grows has closures larger than the arena block.
+    metrics_.counter_fn("sim.arena.closure_hits",
+                        [this] { return queue_.arena_stats().hits; });
+    metrics_.counter_fn("sim.arena.closure_fallbacks",
+                        [this] { return queue_.arena_stats().fallbacks; });
+    metrics_.gauge_fn("sim.arena.blocks_total", [this] {
+      return static_cast<double>(queue_.arena_stats().blocks_total);
+    });
+    metrics_.gauge_fn("sim.queue.slots", [this] {
+      return static_cast<double>(queue_.slot_capacity());
+    });
   }
 
   Engine(const Engine&) = delete;
@@ -55,13 +68,23 @@ class Engine {
   /// Current simulated time.
   Time now() const { return now_; }
 
-  /// Schedules `fn` at absolute time `t` (must be >= now()).
-  void at(Time t, UniqueFunction fn) { queue_.push(clamp(t), std::move(fn)); }
+  /// Schedules `fn` at absolute time `t` (must be >= now()). The returned
+  /// handle may be passed to cancel(); discarding it is fine.
+  template <typename F>
+  EventHandle at(Time t, F&& fn) {
+    return queue_.push(clamp(t), std::forward<F>(fn));
+  }
 
   /// Schedules `fn` after a relative delay `d` (must be >= 0).
-  void after(Duration d, UniqueFunction fn) {
-    queue_.push(now_ + d, std::move(fn));
+  template <typename F>
+  EventHandle after(Duration d, F&& fn) {
+    return queue_.push(now_ + d, std::forward<F>(fn));
   }
+
+  /// Cancels a previously scheduled event in O(1). Distinguishes a pending
+  /// event (now cancelled) from one that already fired or was already
+  /// cancelled; stale/invalid handles report kUnknown. See event_queue.hpp.
+  CancelOutcome cancel(EventHandle h) { return queue_.cancel(h); }
 
   /// Runs `fn` every `d` nanoseconds until it returns false. The stop
   /// condition matters: run()/chaos drains execute until the queue is

@@ -45,6 +45,8 @@ class CondVar {
 
   /// Awaitable: suspends until notified or until `d` elapses.
   /// `co_await cv.wait_for(d)` yields true if notified, false on timeout.
+  /// A notify cancels the timeout event outright (O(1) in the event queue),
+  /// so heavily-notified waiters leave no stale timer events behind.
   auto wait_for(Duration d) {
     struct Awaiter {
       CondVar& cv;
@@ -56,7 +58,7 @@ class CondVar {
         state->handle = h;
         cv.waiters_.push_back(state);
         Engine& eng = *cv.engine_;
-        eng.after(d, [s = state, &eng] {
+        state->timer = eng.after(d, [s = state, &eng] {
           if (s->done) return;  // already notified
           s->done = true;
           s->notified = false;
@@ -76,6 +78,7 @@ class CondVar {
       if (s->done) continue;  // timed out; entry is stale
       s->done = true;
       s->notified = true;
+      if (s->timer.valid()) engine_->cancel(s->timer);
       engine_->post(s->handle);
       return;
     }
@@ -89,6 +92,7 @@ class CondVar {
       if (s->done) continue;
       s->done = true;
       s->notified = true;
+      if (s->timer.valid()) engine_->cancel(s->timer);
       engine_->post(s->handle);
     }
   }
@@ -106,6 +110,7 @@ class CondVar {
  private:
   struct WaitState {
     std::coroutine_handle<> handle;
+    EventHandle timer;  // wait_for() only: cancelled on notify
     bool done = false;
     bool notified = false;
   };

@@ -5,6 +5,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "sim/arena.hpp"
+
 namespace vnet::sim {
 
 /// A move-only type-erased callable with signature `void()`.
@@ -14,6 +16,12 @@ namespace vnet::sim {
 /// requires copyability, and std::move_only_function is C++23; this is the
 /// small subset we need, with a small-buffer optimization sized for typical
 /// event lambdas (a couple of pointers).
+///
+/// Closures that outgrow the inline buffer normally heap-allocate; the
+/// two-argument constructor routes them through a ClosureArena instead, so
+/// the event queue's steady-state scheduling is allocation-free (the block
+/// is returned to the arena when the closure is destroyed, from wherever
+/// the UniqueFunction was moved to).
 class UniqueFunction {
  public:
   UniqueFunction() noexcept = default;
@@ -22,14 +30,36 @@ class UniqueFunction {
             typename = std::enable_if_t<
                 !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
                 std::is_invocable_r_v<void, std::decay_t<F>&>>>
-  UniqueFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+  UniqueFunction(F&& f)  // NOLINT(google-explicit-constructor)
+      : UniqueFunction(std::forward<F>(f), nullptr) {}
+
+  /// As above, but oversized closures are placed in `arena` when they fit a
+  /// block (falling back to the heap, counted, when they don't). A null
+  /// arena always uses the heap.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  UniqueFunction(F&& f, ClosureArena* arena) {
     using Fn = std::decay_t<F>;
     if constexpr (sizeof(Fn) <= kInlineSize &&
                   alignof(Fn) <= alignof(std::max_align_t) &&
                   std::is_nothrow_move_constructible_v<Fn>) {
       ::new (static_cast<void*>(buffer_)) Fn(std::forward<F>(f));
       vtable_ = &inline_vtable<Fn>;
+    } else if constexpr (sizeof(Fn) <= ClosureArena::kPayloadBytes &&
+                         alignof(Fn) <= alignof(std::max_align_t)) {
+      if (arena != nullptr) {
+        void* block = arena->allocate();
+        ::new (block) Fn(std::forward<F>(f));
+        ::new (static_cast<void*>(buffer_)) void*(block);
+        vtable_ = &arena_vtable<Fn>;
+      } else {
+        ::new (static_cast<void*>(buffer_)) Fn*(new Fn(std::forward<F>(f)));
+        vtable_ = &heap_vtable<Fn>;
+      }
     } else {
+      if (arena != nullptr) arena->note_fallback();
       ::new (static_cast<void*>(buffer_)) Fn*(new Fn(std::forward<F>(f)));
       vtable_ = &heap_vtable<Fn>;
     }
@@ -79,6 +109,19 @@ class UniqueFunction {
       [](void* p) noexcept { delete *static_cast<Fn**>(p); },
       [](void* dst, void* src) noexcept {
         ::new (dst) Fn*(*static_cast<Fn**>(src));
+      },
+  };
+
+  template <typename Fn>
+  static constexpr VTable arena_vtable = {
+      [](void* p) { (*static_cast<Fn*>(*static_cast<void**>(p)))(); },
+      [](void* p) noexcept {
+        void* block = *static_cast<void**>(p);
+        static_cast<Fn*>(block)->~Fn();
+        ClosureArena::release(block);
+      },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) void*(*static_cast<void**>(src));
       },
   };
 

@@ -1,0 +1,244 @@
+// EventQueue unit tests: ordering guarantees under the calendar/overflow
+// layout, O(1) cancellation semantics, arena block reuse, and a same-seed
+// golden run pinning the Fig 3 LogP numbers. The pop order of the queue is
+// a pure function of (time, sequence); everything downstream (chaos-matrix
+// byte determinism, the checked-in figure numbers) leans on that, so these
+// tests treat any ordering deviation as a correctness bug, not a tuning
+// regression.
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/logp.hpp"
+#include "cluster/config.hpp"
+#include "sim/engine.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/process.hpp"
+
+namespace {
+
+using namespace vnet;
+
+// Interleaves pushes, cancels, and pops against a reference model (a sorted
+// list of live (time, seq) pairs) across times spanning the calendar
+// horizon, the overflow heap, and rebase migrations. The queue must pop
+// exactly the model's order.
+TEST(EventQueue, InterleavedScheduleCancelMatchesReferenceModel) {
+  sim::EventQueue q;
+  std::mt19937 rng(0xC0FFEE);
+  // Times up to 100 ms: the calendar window is ~4.2 ms, so this exercises
+  // bucket inserts, overflow inserts, and several rebases.
+  std::uniform_int_distribution<sim::Time> time_dist(0, 100'000'000);
+  std::uniform_int_distribution<int> op_dist(0, 99);
+
+  struct ModelEvent {
+    sim::Time time;
+    std::uint64_t seq;
+  };
+  std::vector<ModelEvent> model;               // live events
+  std::vector<sim::EventHandle> handles;       // parallel to pushes
+  std::vector<std::uint64_t> handle_seq;       // seq for each handle
+  std::vector<bool> handle_live;
+  std::uint64_t next_seq = 0;
+  sim::Time now = 0;
+  std::vector<std::uint64_t> popped;
+
+  auto pop_one = [&] {
+    ASSERT_FALSE(q.empty());
+    auto [t, fn] = q.pop();
+    ASSERT_GE(t, now);
+    now = t;
+    fn();
+  };
+
+  for (int step = 0; step < 20'000; ++step) {
+    const int op = op_dist(rng);
+    if (op < 55 || q.empty()) {
+      // Push at a uniformly random future time.
+      const sim::Time t = now + time_dist(rng);
+      const std::uint64_t seq = next_seq++;
+      handles.push_back(q.push(t, [seq, &popped] { popped.push_back(seq); }));
+      handle_seq.push_back(seq);
+      handle_live.push_back(true);
+      model.push_back({t, seq});
+    } else if (op < 75 && !handles.empty()) {
+      // Cancel a random previously pushed event (it may already be gone).
+      std::uniform_int_distribution<std::size_t> pick(0, handles.size() - 1);
+      const std::size_t i = pick(rng);
+      const auto outcome = q.cancel(handles[i]);
+      if (handle_live[i]) {
+        ASSERT_EQ(outcome, sim::CancelOutcome::kCancelled);
+        handle_live[i] = false;
+        const std::uint64_t seq = handle_seq[i];
+        model.erase(std::find_if(model.begin(), model.end(),
+                                 [seq](const ModelEvent& e) {
+                                   return e.seq == seq;
+                                 }));
+      } else {
+        ASSERT_NE(outcome, sim::CancelOutcome::kCancelled);
+      }
+    } else {
+      pop_one();
+    }
+    // Keep handle_live in sync with pops (events fire in model order, so
+    // mark fired seqs dead lazily below).
+    while (!popped.empty()) {
+      const std::uint64_t seq = popped.back();
+      popped.pop_back();
+      for (std::size_t i = 0; i < handle_seq.size(); ++i) {
+        if (handle_seq[i] == seq) handle_live[i] = false;
+      }
+      // The fired event must have been the model's minimum.
+      auto min_it = std::min_element(model.begin(), model.end(),
+                                     [](const ModelEvent& a,
+                                        const ModelEvent& b) {
+                                       return a.time < b.time ||
+                                              (a.time == b.time &&
+                                               a.seq < b.seq);
+                                     });
+      ASSERT_NE(min_it, model.end());
+      ASSERT_EQ(min_it->seq, seq);
+      model.erase(min_it);
+    }
+    ASSERT_EQ(q.size(), model.size());
+  }
+
+  // Drain; remaining events must come out in exact (time, seq) order.
+  std::stable_sort(model.begin(), model.end(),
+                   [](const ModelEvent& a, const ModelEvent& b) {
+                     return a.time < b.time ||
+                            (a.time == b.time && a.seq < b.seq);
+                   });
+  for (const ModelEvent& expect : model) {
+    ASSERT_FALSE(q.empty());
+    popped.clear();
+    auto [t, fn] = q.pop();
+    fn();
+    ASSERT_EQ(t, expect.time);
+    ASSERT_EQ(popped.size(), 1u);
+    ASSERT_EQ(popped.front(), expect.seq);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+// 10k events at one timestamp must fire in exact insertion order — the FIFO
+// tie-break that makes whole-cluster runs reproducible.
+TEST(EventQueue, SameTimestampTieBreakIsInsertionOrder) {
+  sim::EventQueue q;
+  constexpr int kEvents = 10'000;
+  std::vector<int> order;
+  order.reserve(kEvents);
+  for (int i = 0; i < kEvents; ++i) {
+    q.push(42 * sim::us, [i, &order] { order.push_back(i); });
+  }
+  while (!q.empty()) {
+    auto [t, fn] = q.pop();
+    EXPECT_EQ(t, 42 * sim::us);
+    fn();
+  }
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kEvents));
+  for (int i = 0; i < kEvents; ++i) EXPECT_EQ(order[i], i);
+}
+
+// Oversized closures must cycle through the arena's free list rather than
+// the heap: under steady churn the block population stops growing, and
+// draining the queue returns every block. Run under ASan (scripts/check.sh
+// asan) this also proves the arena's recycle path is clean.
+TEST(EventQueue, ArenaReusesBlocksUnderChurn) {
+  sim::EventQueue q;
+  std::array<std::uint64_t, 16> big{};  // 128 bytes: past SBO, into arena
+  std::uint64_t sum = 0;
+
+  for (int i = 0; i < 64; ++i) {
+    q.push(i, [big, &sum] { sum += big[0]; });
+  }
+  const auto warm = q.arena_stats();
+  EXPECT_EQ(warm.fallbacks, 0u);
+  EXPECT_GE(warm.hits, 64u);
+
+  for (int round = 0; round < 1'000; ++round) {
+    sim::Time t;
+    {
+      auto [when, fn] = q.pop();
+      t = when;
+      fn();  // destroying fn at scope end returns its block to the arena
+    }
+    q.push(t + 1000, [big, &sum] { sum += big[1]; });
+  }
+  const auto churned = q.arena_stats();
+  EXPECT_EQ(churned.fallbacks, 0u);
+  EXPECT_EQ(churned.hits, warm.hits + 1'000);
+  // Steady-state churn must not grow the block population.
+  EXPECT_EQ(churned.blocks_total, warm.blocks_total);
+
+  while (!q.empty()) q.pop();
+  const auto drained = q.arena_stats();
+  EXPECT_EQ(drained.blocks_free, drained.blocks_total);
+}
+
+// The four cancel outcomes are distinct, and in particular cancelling an
+// event that already fired reports kFired (not kCancelled, not a crash) —
+// a regression test for the ack-after-timeout race in the NIC's retransmit
+// path.
+TEST(EventQueue, CancelOutcomesAreDistinct) {
+  sim::EventQueue q;
+
+  // kCancelled then kAlreadyCancelled.
+  bool ran = false;
+  auto h1 = q.push(100, [&ran] { ran = true; });
+  EXPECT_EQ(q.cancel(h1), sim::CancelOutcome::kCancelled);
+  EXPECT_EQ(q.cancel(h1), sim::CancelOutcome::kAlreadyCancelled);
+
+  // kFired: cancel after the event ran.
+  auto h2 = q.push(200, [&ran] { ran = true; });
+  {
+    auto [t, fn] = q.pop();
+    EXPECT_EQ(t, 200);
+    fn();
+  }
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(q.cancel(h2), sim::CancelOutcome::kFired);
+
+  // kUnknown: default handle, and a stale handle whose slot was recycled.
+  EXPECT_EQ(q.cancel(sim::EventHandle{}), sim::CancelOutcome::kUnknown);
+  auto h3 = q.push(300, [] {});  // reuses h2's slot, bumping its generation
+  EXPECT_EQ(h3.slot, h2.slot);
+  EXPECT_NE(h3.gen, h2.gen);
+  EXPECT_EQ(q.cancel(h2), sim::CancelOutcome::kUnknown);
+  EXPECT_EQ(q.cancel(h3), sim::CancelOutcome::kCancelled);
+}
+
+// Engine-level handle plumbing: Engine::after returns a cancellable handle
+// and Engine::cancel suppresses the callback.
+TEST(EventQueue, EngineAfterReturnsCancellableHandle) {
+  sim::Engine eng;
+  int fired = 0;
+  auto h = eng.after(10 * sim::us, [&fired] { ++fired; });
+  eng.after(20 * sim::us, [&fired] { fired += 10; });
+  EXPECT_EQ(eng.cancel(h), sim::CancelOutcome::kCancelled);
+  eng.run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(eng.now(), 20 * sim::us);
+}
+
+// Same-seed golden run: the queue rewrite (calendar buckets, arena, O(1)
+// cancel) must not move a single timestamp in the Fig 3 LogP
+// characterization. These constants were recorded on the pre-rewrite
+// binary-heap queue; any drift means the (time, seq) pop order changed.
+TEST(EventQueue, Fig3LogpGoldenRunUnchanged) {
+  const apps::LogpResult r =
+      apps::measure_logp(cluster::NowConfig(2), /*pingpongs=*/40,
+                         /*stream=*/200, /*attribute=*/false);
+  EXPECT_NEAR(r.os_us, 2.900000000, 1e-8);
+  EXPECT_NEAR(r.or_us, 2.600000000, 1e-8);
+  EXPECT_NEAR(r.l_us, 8.950000000, 1e-8);
+  EXPECT_NEAR(r.g_us, 12.423115578, 1e-8);
+  EXPECT_NEAR(r.rtt_us, 28.900000000, 1e-8);
+}
+
+}  // namespace

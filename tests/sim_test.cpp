@@ -126,10 +126,10 @@ TEST(EventQueue, TiesBreakFifo) {
 TEST(EventQueue, CancelSuppressesEvent) {
   EventQueue q;
   int hits = 0;
-  auto id = q.push(10, [&] { ++hits; });
+  auto h = q.push(10, [&] { ++hits; });
   q.push(20, [&] { ++hits; });
-  EXPECT_TRUE(q.cancel(id));
-  EXPECT_FALSE(q.cancel(id));  // double-cancel is a no-op
+  EXPECT_EQ(q.cancel(h), CancelOutcome::kCancelled);
+  EXPECT_EQ(q.cancel(h), CancelOutcome::kAlreadyCancelled);
   EXPECT_EQ(q.size(), 1u);
   while (!q.empty()) q.pop().second();
   EXPECT_EQ(hits, 1);
@@ -137,9 +137,9 @@ TEST(EventQueue, CancelSuppressesEvent) {
 
 TEST(EventQueue, NextTimeSkipsCancelled) {
   EventQueue q;
-  auto id = q.push(10, [] {});
+  auto h = q.push(10, [] {});
   q.push(20, [] {});
-  q.cancel(id);
+  q.cancel(h);
   EXPECT_EQ(q.next_time(), 20);
 }
 
