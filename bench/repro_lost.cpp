@@ -1,34 +1,64 @@
 // Regression reproducer: three event-driven services on one node, three
 // clients on distinct nodes, explicit replies. Used to chase a reply-loss
 // bug seen in examples/multi_service_node.
+//
+// Modes:
+//   repro_lost [total] [seed]      one in-process run (the original CLI)
+//   repro_lost --sweep N [--jobs J] [--total T]
+//       sweep seeds 1..N, each in a fork()ed child off the warmed-up parent
+//       image (chaos fork-server style): children report their per-client
+//       counts over a pipe, the parent aggregates and exits nonzero if any
+//       seed lost a reply. Falls back to sequential in-process runs where
+//       fork() is unavailable.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "am/endpoint.hpp"
+#include "chaos/forkserver.hpp"
 #include "cluster/cluster.hpp"
 #include "cluster/config.hpp"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
 using namespace vnet;
 
-int main(int argc, char** argv) {
-  std::setbuf(stdout, nullptr);
-  const int total = argc > 1 ? std::atoi(argv[1]) : 200;
-  const std::uint64_t seed = argc > 2 ? std::atoll(argv[2]) : 1;
+namespace {
+
+struct ReproResult {
+  std::uint64_t served[3] = {0, 0, 0};
+  std::uint64_t replies[3] = {0, 0, 0};
+  int expected[3] = {0, 0, 0};
+  bool ok() const {
+    for (int c = 0; c < 3; ++c) {
+      if (replies[c] != static_cast<std::uint64_t>(expected[c])) return false;
+    }
+    return true;
+  }
+};
+
+ReproResult run_repro(int total, std::uint64_t seed) {
   auto cfg = cluster::NowConfig(4);
   cfg.seed = seed;
   cluster::Cluster cl(cfg);
 
+  ReproResult r;
   am::Name sname[3];
   bool stop = false;
   int done = 0;
-  std::uint64_t served[3] = {0, 0, 0}, replies[3] = {0, 0, 0};
 
   for (int sidx = 0; sidx < 3; ++sidx) {
     cl.spawn_thread(0, "svc", [&, sidx](host::HostThread& t) -> sim::Task<> {
       auto ep = co_await am::Endpoint::create(t, 7 + sidx);
       ep->set_handler(1, [&, sidx](am::Endpoint&, const am::Message& m) {
-        ++served[sidx];
+        ++r.served[sidx];
         m.reply(2, {m.arg(0)});
       });
       ep->set_event_mask(am::kEventReceive);
@@ -46,34 +76,166 @@ int main(int argc, char** argv) {
                     [&, cidx](host::HostThread& t) -> sim::Task<> {
       auto ep = co_await am::Endpoint::create(t, 90 + cidx);
       ep->set_handler(2, [&, cidx](am::Endpoint&, const am::Message&) {
-        ++replies[cidx];
+        ++r.replies[cidx];
       });
       while (!sname[0].valid() || !sname[1].valid() || !sname[2].valid()) {
         co_await t.sleep(20 * sim::us);
       }
       ep->map(0, sname[cidx]);
-      const int my_total = total - cidx * 100;  // 400/300/200 like the example
+      const int my_total =
+          std::max(0, total - cidx * 100);  // 400/300/200 like the example
+      r.expected[cidx] = my_total;
       for (int i = 0; i < my_total; ++i) {
         co_await ep->request(t, 0, 1, static_cast<std::uint64_t>(i));
       }
       const sim::Time deadline = t.engine().now() + 300 * sim::ms;
-      while (replies[cidx] < static_cast<std::uint64_t>(my_total) &&
+      while (r.replies[cidx] < static_cast<std::uint64_t>(my_total) &&
              t.engine().now() < deadline) {
         co_await ep->poll(t, 16);
         co_await t.compute(1000);
       }
       co_await ep->destroy(t);
-      std::printf("seed=%llu cli=%d served=%llu replies=%llu credits=%d %s\n",
-                  static_cast<unsigned long long>(seed), cidx,
-                  static_cast<unsigned long long>(served[cidx]),
-                  static_cast<unsigned long long>(replies[cidx]),
-                  0,
-                  replies[cidx] == static_cast<std::uint64_t>(my_total)
-                      ? "OK"
-                      : "LOST");
       if (++done == 3) stop = true;
     });
   }
   cl.run_to_completion();
+  return r;
+}
+
+void print_result(std::uint64_t seed, const ReproResult& r) {
+  for (int cidx = 0; cidx < 3; ++cidx) {
+    std::printf("seed=%llu cli=%d served=%llu replies=%llu credits=%d %s\n",
+                static_cast<unsigned long long>(seed), cidx,
+                static_cast<unsigned long long>(r.served[cidx]),
+                static_cast<unsigned long long>(r.replies[cidx]), 0,
+                r.replies[cidx] == static_cast<std::uint64_t>(r.expected[cidx])
+                    ? "OK"
+                    : "LOST");
+  }
+}
+
+// Seed sweep, fork-server style: one child per seed forked off the parent
+// image (the binary's static initialization is the shared warm prefix), up
+// to `jobs` in flight. Each child writes "seed replies0,1,2 ok" on the
+// pipe; a child that crashes counts as a lost seed, never a wedged sweep.
+int sweep(int total, int nseeds, int jobs) {
+  int lost = 0;
+#if defined(__unix__) || defined(__APPLE__)
+  if (chaos::fork_available()) {
+    struct Pending {
+      std::uint64_t seed;
+      pid_t pid;
+      int fd;
+    };
+    std::vector<Pending> inflight;
+    auto drain_one = [&] {
+      Pending p = inflight.front();
+      inflight.erase(inflight.begin());
+      std::string line;
+      char buf[256];
+      for (;;) {
+        const ssize_t n = ::read(p.fd, buf, sizeof buf);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) break;
+        line.append(buf, static_cast<std::size_t>(n));
+      }
+      ::close(p.fd);
+      int status = 0;
+      while (::waitpid(p.pid, &status, 0) < 0 && errno == EINTR) {
+      }
+      const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+      if (!clean || line.find(" ok") == std::string::npos) {
+        ++lost;
+        std::printf("seed=%llu %s\n",
+                    static_cast<unsigned long long>(p.seed),
+                    clean ? "LOST" : "CRASHED");
+      }
+    };
+    for (int s = 1; s <= nseeds; ++s) {
+      int fds[2];
+      if (::pipe(fds) != 0) {
+        std::perror("pipe");
+        return 2;
+      }
+      std::fflush(stdout);
+      const pid_t pid = ::fork();
+      if (pid == 0) {
+        ::close(fds[0]);
+        const ReproResult r = run_repro(total, static_cast<std::uint64_t>(s));
+        char out[128];
+        const int len = std::snprintf(
+            out, sizeof out, "%d %llu,%llu,%llu%s\n", s,
+            static_cast<unsigned long long>(r.replies[0]),
+            static_cast<unsigned long long>(r.replies[1]),
+            static_cast<unsigned long long>(r.replies[2]),
+            r.ok() ? " ok" : " lost");
+        ssize_t written = 0;
+        while (written < len) {
+          const ssize_t n = ::write(fds[1], out + written,
+                                    static_cast<std::size_t>(len - written));
+          if (n <= 0) {
+            if (n < 0 && errno == EINTR) continue;
+            break;
+          }
+          written += n;
+        }
+        ::close(fds[1]);
+        ::_exit(0);
+      }
+      ::close(fds[1]);
+      if (pid < 0) {
+        ::close(fds[0]);
+        std::perror("fork");
+        return 2;
+      }
+      inflight.push_back({static_cast<std::uint64_t>(s), pid, fds[0]});
+      while (static_cast<int>(inflight.size()) >= jobs) drain_one();
+    }
+    while (!inflight.empty()) drain_one();
+  } else
+#endif
+  {
+    // No fork(): the original sequential path, one seed at a time.
+    for (int s = 1; s <= nseeds; ++s) {
+      const ReproResult r = run_repro(total, static_cast<std::uint64_t>(s));
+      if (!r.ok()) {
+        ++lost;
+        print_result(static_cast<std::uint64_t>(s), r);
+      }
+    }
+  }
+  std::printf("sweep: %d seed(s), %d lost\n", nseeds, lost);
+  return lost == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::setbuf(stdout, nullptr);
+  int total = 200;
+  int nsweep = 0;
+  int jobs = 4;
+  std::uint64_t seed = 1;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--sweep") && i + 1 < argc) {
+      nsweep = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
+      jobs = std::max(1, std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--total") && i + 1 < argc) {
+      total = std::atoi(argv[++i]);
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (!positional.empty()) total = std::atoi(positional[0]);
+  if (positional.size() > 1) {
+    seed = static_cast<std::uint64_t>(std::atoll(positional[1]));
+  }
+
+  if (nsweep > 0) return sweep(total, nsweep, jobs);
+
+  const ReproResult r = run_repro(total, seed);
+  print_result(seed, r);
   return 0;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "am/endpoint.hpp"
+#include "am/probe.hpp"
 #include "lanai/nic.hpp"
 
 namespace vnet::chaos {
@@ -55,6 +57,17 @@ void Campaign::apply(const FaultAction& a) {
       break;
     case FaultAction::Kind::kBurstLoss:
       fabric.set_burst_loss(a.burst);
+      break;
+    case FaultAction::Kind::kPoison:
+      // Deliberate invariant break: a delivery for a message that was never
+      // injected. The ledger records it as an orphan event, which fails the
+      // scenario — exactly the planted violation the bisector test hunts.
+      if (am::MessageProbe* p = am::Endpoint::probe()) {
+        p->message_delivered(
+            static_cast<myrinet::NodeId>(a.node < 0 ? 0 : a.node),
+            /*src_ep=*/0xFFFF, /*msg_id=*/0xB0150DULL, /*is_request=*/true,
+            /*at_node=*/0, /*at_ep=*/0);
+      }
       break;
   }
 }

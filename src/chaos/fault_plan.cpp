@@ -76,6 +76,15 @@ FaultPlan& FaultPlan::burst_episode(
   return burst_loss(at + duration, off);
 }
 
+FaultPlan& FaultPlan::poison(sim::Time at, int node) {
+  FaultAction a;
+  a.at = at;
+  a.kind = FaultAction::Kind::kPoison;
+  a.node = node;
+  actions_.push_back(a);
+  return *this;
+}
+
 FaultPlan FaultPlan::chaos_mode(sim::Rng& rng, const ChaosOptions& opt) {
   FaultPlan plan;
   const sim::Time window = opt.end - opt.start;
@@ -169,8 +178,94 @@ std::string describe(const FaultAction& a) {
         std::snprintf(buf, sizeof(buf), "%8.3f ms  burst off", at_ms);
       }
       break;
+    case FaultAction::Kind::kPoison:
+      std::snprintf(buf, sizeof(buf), "%8.3f ms  poison (phantom delivery)",
+                    at_ms);
+      break;
   }
   return buf;
+}
+
+// ------------------------------------------------------- JSON round-trip
+
+namespace {
+
+const char* kind_name(FaultAction::Kind k) {
+  switch (k) {
+    case FaultAction::Kind::kHostLink: return "host_link";
+    case FaultAction::Kind::kTrunkLink: return "trunk_link";
+    case FaultAction::Kind::kNicReboot: return "nic_reboot";
+    case FaultAction::Kind::kFaultRates: return "fault_rates";
+    case FaultAction::Kind::kBurstLoss: return "burst_loss";
+    case FaultAction::Kind::kPoison: return "poison";
+  }
+  return "host_link";
+}
+
+FaultAction::Kind kind_from_name(const std::string& s) {
+  if (s == "trunk_link") return FaultAction::Kind::kTrunkLink;
+  if (s == "nic_reboot") return FaultAction::Kind::kNicReboot;
+  if (s == "fault_rates") return FaultAction::Kind::kFaultRates;
+  if (s == "burst_loss") return FaultAction::Kind::kBurstLoss;
+  if (s == "poison") return FaultAction::Kind::kPoison;
+  return FaultAction::Kind::kHostLink;
+}
+
+}  // namespace
+
+json::Value to_json(const FaultAction& a) {
+  json::Value v;
+  v["at_ns"] = json::Value(static_cast<std::int64_t>(a.at));
+  v["kind"] = json::Value(kind_name(a.kind));
+  v["node"] = json::Value(a.node);
+  v["port"] = json::Value(a.port);
+  v["up"] = json::Value(a.up);
+  v["drop"] = json::Value(a.drop);
+  v["corrupt"] = json::Value(a.corrupt);
+  if (a.kind == FaultAction::Kind::kBurstLoss) {
+    json::Value b;
+    b["enabled"] = json::Value(a.burst.enabled);
+    b["p_good_to_bad"] = json::Value(a.burst.p_good_to_bad);
+    b["p_bad_to_good"] = json::Value(a.burst.p_bad_to_good);
+    b["loss_good"] = json::Value(a.burst.loss_good);
+    b["loss_bad"] = json::Value(a.burst.loss_bad);
+    v["burst"] = std::move(b);
+  }
+  return v;
+}
+
+FaultAction action_from_json(const json::Value& v) {
+  FaultAction a;
+  a.at = static_cast<sim::Time>(v["at_ns"].as_int());
+  a.kind = kind_from_name(v["kind"].as_string());
+  a.node = static_cast<int>(v["node"].as_int(-1));
+  a.port = static_cast<int>(v["port"].as_int(-1));
+  a.up = v["up"].as_bool(true);
+  a.drop = v["drop"].as_number();
+  a.corrupt = v["corrupt"].as_number();
+  if (v["burst"].is_object()) {
+    const json::Value& b = v["burst"];
+    a.burst.enabled = b["enabled"].as_bool();
+    a.burst.p_good_to_bad = b["p_good_to_bad"].as_number();
+    a.burst.p_bad_to_good = b["p_bad_to_good"].as_number();
+    a.burst.loss_good = b["loss_good"].as_number();
+    a.burst.loss_bad = b["loss_bad"].as_number();
+  }
+  return a;
+}
+
+json::Value to_json(const FaultPlan& plan) {
+  json::Value arr{json::Value::Array{}};
+  for (const FaultAction& a : plan.actions()) arr.push_back(to_json(a));
+  return arr;
+}
+
+FaultPlan plan_from_json(const json::Value& v) {
+  FaultPlan plan;
+  for (const json::Value& av : v.as_array()) {
+    plan.append(action_from_json(av));
+  }
+  return plan;
 }
 
 }  // namespace vnet::chaos

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "chaos/json.hpp"
 #include "myrinet/fabric.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
@@ -18,6 +19,8 @@ struct FaultAction {
     kNicReboot,   ///< reboot a node's NIC mid-traffic
     kFaultRates,  ///< set the uniform drop/corrupt probabilities
     kBurstLoss,   ///< swap the Gilbert–Elliott burst-loss parameters
+    kPoison,      ///< test-only: report a phantom delivery to the probe,
+                  ///< planting a ledger orphan (bisector verification)
   };
   sim::Time at = 0;
   Kind kind = Kind::kHostLink;
@@ -67,6 +70,18 @@ class FaultPlan {
   /// Burst loss on at `at`, off again `duration` later.
   FaultPlan& burst_episode(sim::Time at, sim::Duration duration,
                            const myrinet::GilbertElliottParams& burst);
+  /// Test-only: at `at`, feed the installed MessageProbe a delivery for a
+  /// message that was never injected. The ledger flags it as an orphan —
+  /// a deliberately planted invariant break whose first-breaking time the
+  /// bisector must recover.
+  FaultPlan& poison(sim::Time at, int node = 1);
+
+  /// Appends an already-built action verbatim — how the bisector and the
+  /// JSON deserializer construct trimmed plans.
+  FaultPlan& append(const FaultAction& a) {
+    actions_.push_back(a);
+    return *this;
+  }
 
   /// Randomized self-healing fault timeline (see ChaosOptions).
   static FaultPlan chaos_mode(sim::Rng& rng, const ChaosOptions& opt);
@@ -82,5 +97,13 @@ class FaultPlan {
 
 /// One-line human-readable description, used in campaign logs.
 std::string describe(const FaultAction& a);
+
+/// JSON round-trip, used by fork-server verdicts and bisection repro
+/// artifacts: a repro must carry its (trimmed) fault plan in a form a later
+/// process can parse and re-run.
+json::Value to_json(const FaultAction& a);
+FaultAction action_from_json(const json::Value& v);
+json::Value to_json(const FaultPlan& plan);
+FaultPlan plan_from_json(const json::Value& v);
 
 }  // namespace vnet::chaos

@@ -1,0 +1,405 @@
+#include "chaos/forkserver.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define VNET_HAVE_FORK 1
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define VNET_HAVE_FORK 0
+#endif
+
+namespace vnet::chaos {
+
+bool fork_available() { return VNET_HAVE_FORK != 0; }
+
+// ------------------------------------------------------------- ForkServer
+
+ForkServer::ForkServer(const ScenarioSpec& spec)
+    : spec_(spec), run_(std::make_unique<ScenarioRun>(spec)) {
+  checkpoint_ = run_->checkpoint_for(run_->default_plan());
+  run_->warm(checkpoint_);
+}
+
+ForkServer::~ForkServer() = default;
+
+const FaultPlan& ForkServer::default_plan() const {
+  return run_->default_plan();
+}
+
+namespace {
+
+#if VNET_HAVE_FORK
+
+// Writes the whole buffer, riding out EINTR/partial writes.
+void write_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // reader gone; nothing useful to do in the child
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+std::string read_to_eof(int fd) {
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+std::string decode_status(int status) {
+  char buf[64];
+  if (WIFSIGNALED(status)) {
+    const int sig = WTERMSIG(status);
+    std::snprintf(buf, sizeof buf, "signal %d (%s)", sig, strsignal(sig));
+  } else if (WIFEXITED(status)) {
+    std::snprintf(buf, sizeof buf, "exit %d", WEXITSTATUS(status));
+  } else {
+    std::snprintf(buf, sizeof buf, "status 0x%x", status);
+  }
+  return buf;
+}
+
+// Last ~8 KB of the child's captured stderr — enough for an assertion
+// message or the head of a sanitizer report without flooding the table.
+std::string stderr_tail(std::FILE* f) {
+  if (f == nullptr) return {};
+  std::fflush(f);
+  if (std::fseek(f, 0, SEEK_END) != 0) return {};
+  const long size = std::ftell(f);
+  if (size <= 0) return {};
+  constexpr long kTail = 8192;
+  const long start = size > kTail ? size - kTail : 0;
+  if (std::fseek(f, start, SEEK_SET) != 0) return {};
+  std::string out(static_cast<std::size_t>(size - start), '\0');
+  const std::size_t got = std::fread(out.data(), 1, out.size(), f);
+  out.resize(got);
+  return out;
+}
+
+#endif  // VNET_HAVE_FORK
+
+// A verdict for a child that never reported: every invariant marked broken
+// so no aggregation path can mistake a dead child for a passing cell.
+ScenarioResult crashed_result(const std::string& name, std::uint64_t seed,
+                              const std::string& detail) {
+  ScenarioResult r;
+  r.name = name;
+  r.seed = seed;
+  r.violations.push_back("child timeline died before reporting: " + detail);
+  return r;
+}
+
+}  // namespace
+
+ForkServer::Child ForkServer::start(const FaultPlan& plan) {
+  Child child;
+  child.name = spec_.name;
+  child.seed = spec_.seed;
+#if VNET_HAVE_FORK
+  if (spent_) {
+    return child;  // collect() on pid -1 synthesizes a crash verdict
+  }
+  int fds[2];
+  if (::pipe(fds) != 0) return child;
+  std::FILE* err = std::tmpfile();
+
+  // Flush before fork: buffered bytes would otherwise be written twice,
+  // once by each process.
+  std::fflush(stdout);
+  std::fflush(stderr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    if (err != nullptr) std::fclose(err);
+    return child;
+  }
+
+  if (pid == 0) {
+    // Child timeline: divert stderr into the capture file so an abort or
+    // sanitizer report lands somewhere the parent can read, resume the
+    // simulation with this child's fault plan, ship the verdict, and
+    // _exit without running destructors or flushing shared stdio.
+    ::close(fds[0]);
+    if (err != nullptr) ::dup2(fileno(err), 2);
+    if (child_hook) child_hook();
+    const ScenarioResult res = run_->finish(plan);
+    const std::string verdict = verdict_json(res).dump();
+    write_all(fds[1], verdict.data(), verdict.size());
+    ::close(fds[1]);
+    ::_exit(0);
+  }
+
+  // Parent: the warm image is untouched; hand the pipe to collect().
+  ::close(fds[1]);
+  child.pid = pid;
+  child.pipe_fd = fds[0];
+  child.err = err;
+#else
+  (void)plan;
+#endif
+  return child;
+}
+
+ForkOutcome ForkServer::collect(Child& child) {
+  ForkOutcome out;
+#if VNET_HAVE_FORK
+  if (child.pid < 0) {
+    out.crashed = true;
+    out.detail = "fork failed";
+    out.result = crashed_result(child.name, child.seed, out.detail);
+    return out;
+  }
+  // Read the verdict to EOF *before* reaping: a verdict larger than the
+  // pipe buffer would otherwise deadlock the child against waitpid().
+  out.raw_json = read_to_eof(child.pipe_fd);
+  ::close(child.pipe_fd);
+  child.pipe_fd = -1;
+
+  int status = 0;
+  while (::waitpid(child.pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  child.pid = -1;
+  out.stderr_tail = stderr_tail(child.err);
+  if (child.err != nullptr) {
+    std::fclose(child.err);
+    child.err = nullptr;
+  }
+
+  const bool clean_exit = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  json::Value v;
+  std::string parse_error;
+  if (clean_exit && !out.raw_json.empty() &&
+      json::parse(out.raw_json, &v, &parse_error)) {
+    out.result = verdict_from_json(v);
+    return out;
+  }
+  out.crashed = true;
+  out.detail = !clean_exit ? decode_status(status)
+               : out.raw_json.empty()
+                   ? "empty verdict"
+                   : "unparseable verdict: " + parse_error;
+  out.result = crashed_result(child.name, child.seed, out.detail);
+#else
+  out.crashed = true;
+  out.detail = "fork() unavailable on this platform";
+  out.result = crashed_result(child.name, child.seed, out.detail);
+#endif
+  return out;
+}
+
+ScenarioResult ForkServer::run_inline(const FaultPlan& plan) {
+  spent_ = true;
+  return run_->finish(plan);
+}
+
+// ------------------------------------------------------------- the matrix
+
+std::vector<ForkOutcome> run_matrix(
+    const std::vector<ScenarioSpec>& specs, int jobs,
+    const std::function<void(std::size_t, const ForkOutcome&)>& on_done) {
+  std::vector<ForkOutcome> outcomes(specs.size());
+  if (!fork_available()) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      outcomes[i].result = run_scenario(specs[i]);
+      if (on_done) on_done(i, outcomes[i]);
+    }
+    return outcomes;
+  }
+
+  jobs = std::max(1, jobs);
+  std::deque<std::pair<std::size_t, ForkServer::Child>> inflight;
+  auto drain_one = [&] {
+    auto [idx, child] = std::move(inflight.front());
+    inflight.pop_front();
+    outcomes[idx] = ForkServer::collect(child);
+    if (on_done) on_done(idx, outcomes[idx]);
+  };
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    // Warm in the parent, fork the fault phase, discard the warm image:
+    // the child keeps its copy-on-write snapshot. Children of earlier
+    // cells keep running while the next cell warms.
+    ForkServer server(specs[i]);
+    inflight.emplace_back(i, server.start(server.default_plan()));
+    while (static_cast<int>(inflight.size()) >= jobs) drain_one();
+  }
+  while (!inflight.empty()) drain_one();
+  return outcomes;
+}
+
+// --------------------------------------------------------------- bisection
+
+namespace {
+
+std::vector<FaultAction> time_sorted(const FaultPlan& plan) {
+  std::vector<FaultAction> actions = plan.actions();
+  std::stable_sort(actions.begin(), actions.end(),
+                   [](const FaultAction& a, const FaultAction& b) {
+                     return a.at < b.at;
+                   });
+  return actions;
+}
+
+FaultPlan plan_of(const std::vector<FaultAction>& actions) {
+  FaultPlan p;
+  for (const FaultAction& a : actions) p.append(a);
+  return p;
+}
+
+// One probe: does this trimmed plan still break an invariant? Forked off
+// the shared warm image when possible, fresh in-process run otherwise.
+struct Prober {
+  const ScenarioSpec& spec;
+  std::unique_ptr<ForkServer> server;
+  int probes = 0;
+  ScenarioResult last_failing;
+
+  explicit Prober(const ScenarioSpec& s) : spec(s) {
+    if (fork_available()) server = std::make_unique<ForkServer>(s);
+  }
+
+  bool fails(const FaultPlan& plan) {
+    ++probes;
+    const ScenarioResult res = server != nullptr
+                                   ? server->run_child(plan).result
+                                   : ScenarioRun(spec).finish(plan);
+    const bool broke = !verdict_ok(res);
+    if (broke) last_failing = res;
+    return broke;
+  }
+};
+
+}  // namespace
+
+BisectReport bisect_invariant_break(const ScenarioSpec& spec,
+                                    const FaultPlan& plan) {
+  BisectReport report;
+  report.scenario = spec.name;
+  report.seed = spec.seed;
+  report.full_actions = plan.size();
+
+  const std::vector<FaultAction> actions = time_sorted(plan);
+  Prober prober(spec);
+
+  if (actions.empty() || !prober.fails(plan_of(actions))) {
+    report.probes = prober.probes;
+    report.log.push_back("full plan upholds every invariant; nothing to "
+                         "bisect");
+    return report;
+  }
+  report.found = true;
+  report.log.push_back("full plan (" + std::to_string(actions.size()) +
+                       " actions) breaks an invariant");
+
+  // Phase 1: smallest failing time-ordered prefix. Invariant breaks are
+  // monotone in the prefix — the empty prefix passes (the fault-free
+  // workload is the tier-1 baseline), the full plan fails — so binary
+  // search isolates the first scenario time at which the verdict flips.
+  std::size_t lo = 1, hi = actions.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const std::vector<FaultAction> prefix(actions.begin(),
+                                          actions.begin() + mid);
+    if (prober.fails(plan_of(prefix))) {
+      hi = mid;
+      report.log.push_back("prefix of " + std::to_string(mid) + " fails");
+    } else {
+      lo = mid + 1;
+      report.log.push_back("prefix of " + std::to_string(mid) + " passes");
+    }
+  }
+  std::vector<FaultAction> minimal(actions.begin(), actions.begin() + lo);
+  report.trigger_time = minimal.back().at;
+  report.log.push_back(
+      "first break at action " + std::to_string(lo) + " (t = " +
+      std::to_string(report.trigger_time) + " ns): " +
+      describe(minimal.back()));
+
+  // Phase 2: the trigger may need none of the earlier actions — drop each
+  // in turn (latest first, most likely redundant) if the break survives
+  // without it.
+  for (std::size_t i = minimal.size() - 1; i-- > 0;) {
+    std::vector<FaultAction> trimmed = minimal;
+    trimmed.erase(trimmed.begin() + static_cast<std::ptrdiff_t>(i));
+    if (prober.fails(plan_of(trimmed))) {
+      report.log.push_back("dropped redundant action: " +
+                           describe(minimal[i]));
+      minimal = std::move(trimmed);
+    }
+  }
+
+  report.minimal_plan = plan_of(minimal);
+  report.failing = prober.last_failing;
+  // The minimization loop's last probe may have been a pass; re-assert the
+  // minimal plan fails so `failing` is its verdict.
+  if (verdict_ok(report.failing)) prober.fails(report.minimal_plan);
+  report.failing = prober.last_failing;
+  report.probes = prober.probes;
+  return report;
+}
+
+BisectReport bisect_invariant_break(const ScenarioSpec& spec) {
+  // Draw the spec's plan without running anything: the ScenarioRun ctor
+  // evaluates the plan callback with the same RNG history every probe uses.
+  // (Copy the plan out before the run dies — default_plan() is a ref.)
+  ScenarioRun draw(spec);
+  const FaultPlan plan = draw.default_plan();
+  return bisect_invariant_break(spec, plan);
+}
+
+json::Value repro_json(const BisectReport& r) {
+  json::Value v;
+  v["found"] = json::Value(r.found);
+  v["scenario"] = json::Value(r.scenario);
+  v["seed"] = json::Value(r.seed);
+  v["trigger_time_ns"] = json::Value(static_cast<std::int64_t>(r.trigger_time));
+  v["minimal_plan"] = to_json(r.minimal_plan);
+  v["full_plan_actions"] = json::Value(static_cast<std::uint64_t>(r.full_actions));
+  v["probes"] = json::Value(r.probes);
+  json::Value log{json::Value::Array{}};
+  for (const std::string& s : r.log) log.push_back(json::Value(s));
+  v["log"] = std::move(log);
+  if (r.found) v["verdict"] = verdict_json(r.failing);
+  return v;
+}
+
+std::string render_repro(const BisectReport& r) {
+  std::string out;
+  if (!r.found) {
+    out = "bisect: no invariant break (" + r.scenario + " seed " +
+          std::to_string(r.seed) + ", " + std::to_string(r.probes) +
+          " probes)\n";
+    return out;
+  }
+  out += "minimal repro: scenario=" + r.scenario +
+         " seed=" + std::to_string(r.seed) +
+         " trigger=" + std::to_string(r.trigger_time) + "ns (" +
+         std::to_string(r.minimal_plan.size()) + " of " +
+         std::to_string(r.full_actions) + " actions, " +
+         std::to_string(r.probes) + " probes)\n";
+  for (const FaultAction& a : r.minimal_plan.actions()) {
+    out += "  " + describe(a) + "\n";
+  }
+  for (const std::string& v : r.failing.violations) {
+    out += "  violation: " + v + "\n";
+  }
+  return out;
+}
+
+}  // namespace vnet::chaos

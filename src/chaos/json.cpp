@@ -1,0 +1,352 @@
+#include "chaos/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace vnet::chaos::json {
+
+// ------------------------------------------------------------- serializer
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double d) {
+  if (d == static_cast<double>(static_cast<std::int64_t>(d)) &&
+      std::fabs(d) < 9.0e15) {
+    // Integral values print without a fraction, so counts and times are
+    // byte-stable and grep-able.
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld",
+                  static_cast<long long>(static_cast<std::int64_t>(d)));
+    out += buf;
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    out += buf;
+  }
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Value::dump_to(std::string& out, int indent, int depth) const {
+  if (is_null()) {
+    out += "null";
+  } else if (is_bool()) {
+    out += as_bool() ? "true" : "false";
+  } else if (is_number()) {
+    append_number(out, as_number());
+  } else if (is_string()) {
+    append_escaped(out, as_string());
+  } else if (is_array()) {
+    const Array& a = as_array();
+    if (a.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    bool first = true;
+    for (const Value& v : a) {
+      if (!first) out += ',';
+      first = false;
+      if (indent >= 0) newline_indent(out, indent, depth + 1);
+      v.dump_to(out, indent, depth + 1);
+    }
+    if (indent >= 0) newline_indent(out, indent, depth);
+    out += ']';
+  } else {
+    const Object& o = as_object();
+    if (o.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    bool first = true;
+    for (const auto& [k, v] : o) {
+      if (!first) out += ',';
+      first = false;
+      if (indent >= 0) newline_indent(out, indent, depth + 1);
+      append_escaped(out, k);
+      out += indent >= 0 ? ": " : ":";
+      v.dump_to(out, indent, depth + 1);
+    }
+    if (indent >= 0) newline_indent(out, indent, depth);
+    out += '}';
+  }
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+Value hex_u64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return Value(std::string(buf));
+}
+
+std::uint64_t parse_hex_u64(const Value& v, std::uint64_t fallback) {
+  const std::string& s = v.as_string();
+  if (s.size() < 3 || s[0] != '0' || (s[1] != 'x' && s[1] != 'X')) {
+    return fallback;
+  }
+  std::uint64_t out = 0;
+  for (std::size_t i = 2; i < s.size(); ++i) {
+    const char c = s[i];
+    int d;
+    if (c >= '0' && c <= '9') {
+      d = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      d = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      d = c - 'A' + 10;
+    } else {
+      return fallback;
+    }
+    out = (out << 4) | static_cast<std::uint64_t>(d);
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------- parser
+
+namespace {
+
+// Recursive-descent over the document text. Depth-limited so hostile input
+// (a CI artifact edited by hand, a truncated pipe read) fails cleanly.
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error)
+      : p_(text.data()), end_(text.data() + text.size()), error_(error) {}
+
+  bool parse_document(Value* out) {
+    skip_ws();
+    if (!parse_value(out, 0)) return false;
+    skip_ws();
+    if (p_ != end_) return fail("trailing characters after document");
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool fail(const char* msg) {
+    if (error_ != nullptr && error_->empty()) *error_ = msg;
+    return false;
+  }
+
+  void skip_ws() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                          *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::strlen(word);
+    if (static_cast<std::size_t>(end_ - p_) < n ||
+        std::strncmp(p_, word, n) != 0) {
+      return fail("invalid literal");
+    }
+    p_ += n;
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (p_ == end_ || *p_ != '"') return fail("expected string");
+    ++p_;
+    out->clear();
+    while (p_ != end_ && *p_ != '"') {
+      char c = *p_++;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (p_ == end_) return fail("unterminated escape");
+      switch (*p_++) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u': {
+          if (end_ - p_ < 4) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = *p_++;
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail("bad hex digit in \\u escape");
+            }
+          }
+          // Verdicts are ASCII; encode BMP code points as UTF-8.
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xc0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          } else {
+            out->push_back(static_cast<char>(0xe0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape");
+      }
+    }
+    if (p_ == end_) return fail("unterminated string");
+    ++p_;  // closing quote
+    return true;
+  }
+
+  bool parse_value(Value* out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (p_ == end_) return fail("unexpected end of input");
+    switch (*p_) {
+      case 'n':
+        if (!literal("null")) return false;
+        *out = Value(nullptr);
+        return true;
+      case 't':
+        if (!literal("true")) return false;
+        *out = Value(true);
+        return true;
+      case 'f':
+        if (!literal("false")) return false;
+        *out = Value(false);
+        return true;
+      case '"': {
+        std::string s;
+        if (!parse_string(&s)) return false;
+        *out = Value(std::move(s));
+        return true;
+      }
+      case '[': {
+        ++p_;
+        Value::Array a;
+        skip_ws();
+        if (p_ != end_ && *p_ == ']') {
+          ++p_;
+          *out = Value(std::move(a));
+          return true;
+        }
+        for (;;) {
+          Value v;
+          skip_ws();
+          if (!parse_value(&v, depth + 1)) return false;
+          a.push_back(std::move(v));
+          skip_ws();
+          if (p_ == end_) return fail("unterminated array");
+          if (*p_ == ',') {
+            ++p_;
+            continue;
+          }
+          if (*p_ == ']') {
+            ++p_;
+            *out = Value(std::move(a));
+            return true;
+          }
+          return fail("expected ',' or ']' in array");
+        }
+      }
+      case '{': {
+        ++p_;
+        Value::Object o;
+        skip_ws();
+        if (p_ != end_ && *p_ == '}') {
+          ++p_;
+          *out = Value(std::move(o));
+          return true;
+        }
+        for (;;) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(&key)) return false;
+          skip_ws();
+          if (p_ == end_ || *p_ != ':') return fail("expected ':'");
+          ++p_;
+          skip_ws();
+          Value v;
+          if (!parse_value(&v, depth + 1)) return false;
+          o[std::move(key)] = std::move(v);
+          skip_ws();
+          if (p_ == end_) return fail("unterminated object");
+          if (*p_ == ',') {
+            ++p_;
+            continue;
+          }
+          if (*p_ == '}') {
+            ++p_;
+            *out = Value(std::move(o));
+            return true;
+          }
+          return fail("expected ',' or '}' in object");
+        }
+      }
+      default: {
+        // Number.
+        char* num_end = nullptr;
+        const double d = std::strtod(p_, &num_end);
+        if (num_end == p_) return fail("expected a JSON value");
+        p_ = num_end;
+        *out = Value(d);
+        return true;
+      }
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+  std::string* error_;
+};
+
+}  // namespace
+
+bool parse(const std::string& text, Value* out, std::string* error) {
+  if (error != nullptr) error->clear();
+  Parser parser(text, error);
+  return parser.parse_document(out);
+}
+
+}  // namespace vnet::chaos::json

@@ -32,9 +32,7 @@ struct SharedState {
   std::uint64_t unfinished = 0;
 };
 
-}  // namespace
-
-ScenarioResult run_scenario(const ScenarioSpec& spec) {
+cluster::ClusterConfig make_config(const ScenarioSpec& spec) {
   const int nodes = 3 + spec.clients;
   cluster::ClusterConfig cfg = cluster::NowConfig(nodes);
   cfg.seed = spec.seed;
@@ -50,237 +48,314 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   cfg.nic.retransmit_timeout = 200 * sim::us;
   cfg.nic.unreachable_timeout = 10 * sim::ms;
   if (spec.tweak) spec.tweak(cfg);
+  return cfg;
+}
 
-  // Declaration order is destruction safety: `parked` (endpoints) must die
-  // before the cluster whose NICs they detach from; the ProbeGuard must
-  // uninstall before the ledger goes away.
-  cluster::Cluster cl(cfg);
-  DeliveryLedger ledger(cl.engine());
-  ProbeGuard probe_guard(&ledger);
-  sim::Rng plan_rng = cl.engine().rng().split();
-  Campaign campaign(cl, spec.plan ? spec.plan(cl, plan_rng) : FaultPlan{});
-  SharedState sh;
-  std::vector<std::unique_ptr<am::Endpoint>> parked;
+}  // namespace
 
-  // Stall watchdog: once per window, diff the registry and name any
-  // component that stopped making progress (see obs/watchdog.hpp). The
-  // periodic check must stop once the controller declares the run over, or
-  // the post-run engine().run() drain below would never terminate.
-  obs::WatchdogConfig wcfg;
-  wcfg.window_ns = 500 * sim::us;
-  wcfg.link_ns_per_byte = cfg.fabric.link.ns_per_byte;
-  obs::Watchdog watchdog(cl.engine().metrics(), wcfg);
-  watchdog.set_on_fire([&cl](const obs::WatchdogEvent& ev) {
-    (void)cl;
-    (void)ev;
-    VNET_TRACE_INSTANT(cl.engine().tracer(), "watchdog",
-                       ev.rule + " " + ev.subject, 0, 0, {});
-  });
-  cl.engine().every(wcfg.window_ns, [&watchdog, &sh, &cl] {
-    if (sh.stop) return false;
-    watchdog.check(cl.engine().now());
-    return true;
-  });
+// ----------------------------------------------------------- ScenarioRun
 
-  // --- servers: node 1 = primary, node 2 = replica (echo service) ---
-  auto server_body = [&sh, &parked](am::Name* slot, std::uint64_t tag)
-      -> cluster::Cluster::ThreadBody {
-    return [&sh, &parked, slot, tag](host::HostThread& t) -> sim::Task<> {
-      auto ep = co_await am::Endpoint::create(t, tag);
-      ep->set_handler(1, [](am::Endpoint&, const am::Message& m) {
-        m.reply(2, {m.arg(0)});
-      });
-      // Replies to crashed/unreachable clients just come back; count is in
-      // the ledger, the server has no recovery to do.
-      ep->set_undeliverable_handler([](am::Endpoint&, am::ReturnedMessage) {});
-      ep->set_event_mask(am::kEventAll);
-      *slot = ep->name();
-      ++sh.published;
-      while (!sh.stop) {
-        (void)co_await ep->wait_for(t, 1 * sim::ms);
-        co_await ep->poll(t, 64);
-      }
-      while (co_await ep->poll(t, 64) > 0) {
-      }
-      // Park instead of destroying: late retransmissions / returns for this
-      // endpoint must still reach the ledger after the thread exits.
-      parked.push_back(std::move(ep));
+// Declaration order is destruction safety (reverse order teardown):
+// `parked` (endpoints) must die before the cluster whose NICs they detach
+// from; the ProbeGuard must uninstall before the ledger goes away; the
+// Campaign refers to the cluster.
+struct ScenarioRun::Impl {
+  explicit Impl(const ScenarioSpec& s)
+      : spec(s),
+        cfg(make_config(s)),
+        cluster(cfg),
+        ledger(cluster.engine()),
+        probe_guard(&ledger),
+        plan_rng(cluster.engine().rng().split()),
+        plan(s.plan ? s.plan(cluster, plan_rng) : FaultPlan{}) {
+    arm_watchdog();
+    spawn_workload();
+  }
+
+  void arm_watchdog() {
+    // Stall watchdog: once per window, diff the registry and name any
+    // component that stopped making progress (see obs/watchdog.hpp). The
+    // periodic check must stop once the controller declares the run over,
+    // or the post-run engine().run() drain would never terminate.
+    wcfg.window_ns = 500 * sim::us;
+    wcfg.link_ns_per_byte = cfg.fabric.link.ns_per_byte;
+    watchdog = std::make_unique<obs::Watchdog>(cluster.engine().metrics(),
+                                               wcfg);
+    watchdog->set_on_fire([this](const obs::WatchdogEvent& ev) {
+      (void)ev;
+      VNET_TRACE_INSTANT(cluster.engine().tracer(), "watchdog",
+                         ev.rule + " " + ev.subject, 0, 0, {});
+    });
+    cluster.engine().every(wcfg.window_ns, [this] {
+      if (sh.stop) return false;
+      watchdog->check(cluster.engine().now());
+      return true;
+    });
+  }
+
+  void spawn_workload() {
+    // --- servers: node 1 = primary, node 2 = replica (echo service) ---
+    auto server_body = [this](am::Name* slot, std::uint64_t tag)
+        -> cluster::Cluster::ThreadBody {
+      return [this, slot, tag](host::HostThread& t) -> sim::Task<> {
+        auto ep = co_await am::Endpoint::create(t, tag);
+        ep->set_handler(1, [](am::Endpoint&, const am::Message& m) {
+          m.reply(2, {m.arg(0)});
+        });
+        // Replies to crashed/unreachable clients just come back; count is
+        // in the ledger, the server has no recovery to do.
+        ep->set_undeliverable_handler(
+            [](am::Endpoint&, am::ReturnedMessage) {});
+        // Receive + returns only: kEventSendSpace is level-triggered and
+        // nearly always true for an idle endpoint, so with kEventAll the
+        // wait_for() below would never block and this loop would spin-poll
+        // at sub-microsecond granularity for the whole run.
+        ep->set_event_mask(am::kEventReceive | am::kEventReturned);
+        *slot = ep->name();
+        ++sh.published;
+        while (!sh.stop) {
+          (void)co_await ep->wait_for(t, 1 * sim::ms);
+          co_await ep->poll(t, 64);
+        }
+        while (co_await ep->poll(t, 64) > 0) {
+        }
+        // Park instead of destroying: late retransmissions / returns for
+        // this endpoint must still reach the ledger after the thread exits.
+        parked.push_back(std::move(ep));
+      };
     };
-  };
-  cl.spawn_thread(1, "server", server_body(&sh.server_name, 0xA11CE));
-  cl.spawn_thread(2, "replica", server_body(&sh.replica_name, 0xB0B));
+    cluster.spawn_thread(1, "server", server_body(&sh.server_name, 0xA11CE));
+    cluster.spawn_thread(2, "replica", server_body(&sh.replica_name, 0xB0B));
 
-  // --- clients: nodes 3 .. 3+clients ---
-  for (int c = 0; c < spec.clients; ++c) {
-    cl.spawn_thread(
-        3 + c, "client" + std::to_string(c),
-        [&spec, &sh, &parked, c](host::HostThread& t) -> sim::Task<> {
-          auto ep =
-              co_await am::Endpoint::create(t, 0xC0000 + std::uint64_t(c));
-          const int n = spec.requests_per_client;
-          std::vector<int> status(static_cast<std::size_t>(n), kPending);
-          std::vector<int> reissue_queue;
+    // --- clients: nodes 3 .. 3+clients ---
+    for (int c = 0; c < spec.clients; ++c) {
+      cluster.spawn_thread(
+          3 + c, "client" + std::to_string(c),
+          [this, c](host::HostThread& t) -> sim::Task<> {
+            auto ep =
+                co_await am::Endpoint::create(t, 0xC0000 + std::uint64_t(c));
+            const int n = spec.requests_per_client;
+            std::vector<int> status(static_cast<std::size_t>(n), kPending);
+            std::vector<int> reissue_queue;
 
-          ep->set_handler(2, [&sh, &status](am::Endpoint&,
-                                            const am::Message& m) {
-            ++sh.replies;
-            const std::size_t i = static_cast<std::size_t>(m.arg(0));
-            if (i < status.size()) status[i] = kReplied;
-          });
-          ep->set_undeliverable_handler(
-              [&spec, &sh, &status, &reissue_queue](am::Endpoint&,
-                                                    am::ReturnedMessage r) {
-                ++sh.returns;
-                if (!r.descriptor.body.is_request) return;
-                const std::size_t i =
-                    static_cast<std::size_t>(r.descriptor.body.args[0]);
-                if (i >= status.size() || status[i] != kPending) return;
-                if (spec.failover) {
-                  reissue_queue.push_back(static_cast<int>(i));
-                } else {
-                  status[i] = kReturnedFinal;
-                }
-              });
-          ep->set_event_mask(am::kEventAll);
+            ep->set_handler(2, [this, &status](am::Endpoint&,
+                                               const am::Message& m) {
+              ++sh.replies;
+              const std::size_t i = static_cast<std::size_t>(m.arg(0));
+              if (i < status.size()) status[i] = kReplied;
+            });
+            ep->set_undeliverable_handler(
+                [this, &status, &reissue_queue](am::Endpoint&,
+                                                am::ReturnedMessage r) {
+                  ++sh.returns;
+                  if (!r.descriptor.body.is_request) return;
+                  const std::size_t i =
+                      static_cast<std::size_t>(r.descriptor.body.args[0]);
+                  if (i >= status.size() || status[i] != kPending) return;
+                  if (spec.failover) {
+                    reissue_queue.push_back(static_cast<int>(i));
+                  } else {
+                    status[i] = kReturnedFinal;
+                  }
+                });
+            // See the server loop: masking out the always-pending
+            // send-space event is what lets wait_for() actually block.
+            ep->set_event_mask(am::kEventReceive | am::kEventReturned);
 
-          while (sh.published < 2) co_await t.sleep(100 * sim::us);
-          ep->map(0, sh.server_name);
-          ep->map(1, sh.replica_name);
+            while (sh.published < 2) co_await t.sleep(100 * sim::us);
+            ep->map(0, sh.server_name);
+            ep->map(1, sh.replica_name);
 
-          for (int i = 0; i < n; ++i) {
-            if (spec.bulk_bytes > 0) {
-              co_await ep->request_bulk(t, 0, 1, spec.bulk_bytes, nullptr,
-                                        static_cast<std::uint64_t>(i));
-            } else {
-              co_await ep->request(t, 0, 1, static_cast<std::uint64_t>(i));
-            }
-            ++sh.issued;
-            co_await ep->poll(t, 4);
-            if (spec.send_spacing > 0) co_await t.sleep(spec.send_spacing);
-          }
-
-          auto pending = [&status] {
-            return static_cast<std::uint64_t>(
-                std::count(status.begin(), status.end(), kPending));
-          };
-          auto flush_reissues = [&](host::HostThread& th) -> sim::Task<> {
-            while (!reissue_queue.empty()) {
-              const int idx = reissue_queue.back();
-              reissue_queue.pop_back();
-              if (status[static_cast<std::size_t>(idx)] != kPending) continue;
-              co_await ep->request(th, 1, 1,
-                                   static_cast<std::uint64_t>(idx));
-              ++sh.reissued;
-              ++sh.issued;
-            }
-          };
-
-          sim::Time deadline = t.engine().now() + spec.client_deadline;
-          while (pending() > 0 && t.engine().now() < deadline) {
-            co_await flush_reissues(t);
-            (void)co_await ep->wait_for(t, 500 * sim::us);
-            co_await ep->poll(t, 64);
-          }
-
-          if (spec.failover && pending() > 0) {
-            // Requests that are neither acked nor returned at the deadline
-            // were (probably) delivered but their replies died with the
-            // primary — the inherent ambiguity of §3.2. Re-issue them all
-            // to the replica; the service must be idempotent.
             for (int i = 0; i < n; ++i) {
-              if (status[static_cast<std::size_t>(i)] != kPending) continue;
-              co_await ep->request(t, 1, 1, static_cast<std::uint64_t>(i));
-              ++sh.reissued;
+              if (spec.bulk_bytes > 0) {
+                co_await ep->request_bulk(t, 0, 1, spec.bulk_bytes, nullptr,
+                                          static_cast<std::uint64_t>(i));
+              } else {
+                co_await ep->request(t, 0, 1, static_cast<std::uint64_t>(i));
+              }
               ++sh.issued;
+              co_await ep->poll(t, 4);
+              if (spec.send_spacing > 0) co_await t.sleep(spec.send_spacing);
             }
-            deadline = t.engine().now() + spec.client_deadline;
+
+            auto pending = [&status] {
+              return static_cast<std::uint64_t>(
+                  std::count(status.begin(), status.end(), kPending));
+            };
+            auto flush_reissues = [&](host::HostThread& th) -> sim::Task<> {
+              while (!reissue_queue.empty()) {
+                const int idx = reissue_queue.back();
+                reissue_queue.pop_back();
+                if (status[static_cast<std::size_t>(idx)] != kPending) {
+                  continue;
+                }
+                co_await ep->request(th, 1, 1,
+                                     static_cast<std::uint64_t>(idx));
+                ++sh.reissued;
+                ++sh.issued;
+              }
+            };
+
+            sim::Time deadline = t.engine().now() + spec.client_deadline;
             while (pending() > 0 && t.engine().now() < deadline) {
               co_await flush_reissues(t);
               (void)co_await ep->wait_for(t, 500 * sim::us);
               co_await ep->poll(t, 64);
             }
-          }
 
-          sh.unfinished += pending();
-          ++sh.clients_done;
-          while (!sh.stop) {
-            (void)co_await ep->wait_for(t, 1 * sim::ms);
-            co_await ep->poll(t, 64);
+            if (spec.failover && pending() > 0) {
+              // Requests that are neither acked nor returned at the
+              // deadline were (probably) delivered but their replies died
+              // with the primary — the inherent ambiguity of §3.2. Re-issue
+              // them all to the replica; the service must be idempotent.
+              for (int i = 0; i < n; ++i) {
+                if (status[static_cast<std::size_t>(i)] != kPending) {
+                  continue;
+                }
+                co_await ep->request(t, 1, 1,
+                                     static_cast<std::uint64_t>(i));
+                ++sh.reissued;
+                ++sh.issued;
+              }
+              deadline = t.engine().now() + spec.client_deadline;
+              while (pending() > 0 && t.engine().now() < deadline) {
+                co_await flush_reissues(t);
+                (void)co_await ep->wait_for(t, 500 * sim::us);
+                co_await ep->poll(t, 64);
+              }
+            }
+
+            sh.unfinished += pending();
+            ++sh.clients_done;
+            while (!sh.stop) {
+              (void)co_await ep->wait_for(t, 1 * sim::ms);
+              co_await ep->poll(t, 64);
+            }
+            while (co_await ep->poll(t, 64) > 0) {
+            }
+            parked.push_back(std::move(ep));
+          });
+    }
+
+    // --- controller: node 0, gates shutdown on ledger quiescence ---
+    cluster.spawn_thread(
+        0, "controller", [this](host::HostThread& t) -> sim::Task<> {
+          while (sh.clients_done < spec.clients) {
+            co_await t.sleep(1 * sim::ms);
           }
-          while (co_await ep->poll(t, 64) > 0) {
+          const sim::Time grace_end = t.engine().now() + spec.resolve_grace;
+          while (!ledger.fully_resolved() && t.engine().now() < grace_end) {
+            co_await t.sleep(500 * sim::us);
           }
-          parked.push_back(std::move(ep));
+          sh.stop = true;
         });
   }
 
-  // --- controller: node 0, gates shutdown on ledger quiescence ---
-  cl.spawn_thread(0, "controller",
-                  [&spec, &sh, &ledger](host::HostThread& t) -> sim::Task<> {
-                    while (sh.clients_done < spec.clients) {
-                      co_await t.sleep(1 * sim::ms);
-                    }
-                    const sim::Time grace_end =
-                        t.engine().now() + spec.resolve_grace;
-                    while (!ledger.fully_resolved() &&
-                           t.engine().now() < grace_end) {
-                      co_await t.sleep(500 * sim::us);
-                    }
-                    sh.stop = true;
-                  });
+  ScenarioResult finish(const FaultPlan& run_plan) {
+    campaign = std::make_unique<Campaign>(cluster, run_plan);
+    campaign->start();
+    cluster.run_to_completion();
+    const sim::Time done_at = cluster.engine().now();
+    // Drain trailing transport events (retransmit / unreachable timers are
+    // all bounded, so the queue empties) so every message reaches a
+    // terminal state before the ledger is judged.
+    cluster.engine().run();
 
-  campaign.start();
-  const sim::Duration run_time = cl.run_to_completion();
-  // Drain trailing transport events (retransmit / unreachable timers are
-  // all bounded, so the queue empties) so every message reaches a terminal
-  // state before the ledger is judged.
-  cl.engine().run();
+    ScenarioResult res;
+    res.name = spec.name;
+    res.seed = spec.seed;
+    res.counts = ledger.counts();
+    res.violations = ledger.violations();
 
-  ScenarioResult res;
-  res.name = spec.name;
-  res.seed = spec.seed;
-  res.counts = ledger.counts();
-  res.violations = ledger.violations();
-
-  // Liveness: no endpoint may end the campaign with a wedged send queue
-  // (every descriptor must complete or be returned-and-swept). Credits and
-  // undrained receive entries are judged by the ledger instead: a dead
-  // server legitimately strands client credits.
-  for (const auto& ep : parked) {
-    if (!ep->state().send_queue.empty()) {
-      res.violations.push_back(
-          "wedged send queue: node " + std::to_string(ep->state().node) +
-          " ep " + std::to_string(ep->state().id) + " holds " +
-          std::to_string(ep->state().send_queue.size()) + " descriptors");
+    // Liveness: no endpoint may end the campaign with a wedged send queue
+    // (every descriptor must complete or be returned-and-swept). Credits
+    // and undrained receive entries are judged by the ledger instead: a
+    // dead server legitimately strands client credits.
+    for (const auto& ep : parked) {
+      if (!ep->state().send_queue.empty()) {
+        res.violations.push_back(
+            "wedged send queue: node " + std::to_string(ep->state().node) +
+            " ep " + std::to_string(ep->state().id) + " holds " +
+            std::to_string(ep->state().send_queue.size()) + " descriptors");
+      }
     }
+
+    res.requests_issued = sh.issued;
+    res.replies_received = sh.replies;
+    res.returns_seen = sh.returns;
+    res.reissued = sh.reissued;
+    res.unfinished = sh.unfinished;
+
+    const obs::Snapshot snap = cluster.engine().snapshot();
+    res.retransmissions = snap.sum_counters("host.", ".nic.retransmissions");
+    res.timeouts = snap.sum_counters("host.", ".nic.timeouts");
+    res.channel_unbinds = snap.sum_counters("host.", ".nic.channel_unbinds");
+    res.duplicates_suppressed =
+        snap.sum_counters("host.", ".nic.duplicates_suppressed");
+    res.returned_to_sender =
+        snap.sum_counters("host.", ".nic.returned_to_sender");
+    res.dropped_down = snap.sum_counters("fabric.link.", ".drops_down");
+    res.dropped_fault = snap.sum_counters("fabric.link.", ".drops_fault");
+
+    res.last_fault_at = campaign->last_action_time();
+    res.resolved_at = ledger.last_terminal_time();
+    res.recovery_time = std::max<sim::Duration>(
+        0, ledger.last_terminal_time() - campaign->last_action_time());
+    res.total_time = done_at;  // the timeline always starts at t = 0
+    res.campaign_log = campaign->log();
+    res.link_stats = obs::render_table(snap, "fabric.link");
+    res.watchdog_events = watchdog->events();
+    res.watchdog_summary = watchdog->render_summary();
+    res.replay_digest = cluster.engine().replay_digest();
+    res.events_processed = cluster.engine().events_processed();
+    return res;
   }
 
-  res.requests_issued = sh.issued;
-  res.replies_received = sh.replies;
-  res.returns_seen = sh.returns;
-  res.reissued = sh.reissued;
-  res.unfinished = sh.unfinished;
+  ScenarioSpec spec;
+  cluster::ClusterConfig cfg;
+  cluster::Cluster cluster;
+  DeliveryLedger ledger;
+  ProbeGuard probe_guard;
+  sim::Rng plan_rng;
+  FaultPlan plan;
+  std::unique_ptr<Campaign> campaign;
+  SharedState sh;
+  std::vector<std::unique_ptr<am::Endpoint>> parked;
+  obs::WatchdogConfig wcfg;
+  std::unique_ptr<obs::Watchdog> watchdog;
+};
 
-  const obs::Snapshot snap = cl.engine().snapshot();
-  res.retransmissions = snap.sum_counters("host.", ".nic.retransmissions");
-  res.timeouts = snap.sum_counters("host.", ".nic.timeouts");
-  res.channel_unbinds = snap.sum_counters("host.", ".nic.channel_unbinds");
-  res.duplicates_suppressed =
-      snap.sum_counters("host.", ".nic.duplicates_suppressed");
-  res.returned_to_sender =
-      snap.sum_counters("host.", ".nic.returned_to_sender");
-  res.dropped_down = snap.sum_counters("fabric.link.", ".drops_down");
-  res.dropped_fault = snap.sum_counters("fabric.link.", ".drops_fault");
+ScenarioRun::ScenarioRun(const ScenarioSpec& spec)
+    : impl_(std::make_unique<Impl>(spec)) {}
 
-  res.last_fault_at = campaign.last_action_time();
-  res.resolved_at = ledger.last_terminal_time();
-  res.recovery_time = std::max<sim::Duration>(
-      0, ledger.last_terminal_time() - campaign.last_action_time());
-  res.total_time = run_time;
-  res.campaign_log = campaign.log();
-  res.link_stats = obs::render_table(snap, "fabric.link");
-  res.watchdog_events = watchdog.events();
-  res.watchdog_summary = watchdog.render_summary();
-  return res;
+ScenarioRun::~ScenarioRun() = default;
+
+const FaultPlan& ScenarioRun::default_plan() const { return impl_->plan; }
+
+sim::Time ScenarioRun::checkpoint_for(const FaultPlan& plan) const {
+  sim::Time first = 0;
+  bool any = false;
+  for (const FaultAction& a : plan.actions()) {
+    if (!any || a.at < first) first = a.at;
+    any = true;
+  }
+  if (!any || first == 0) return 0;
+  return first - 1;
+}
+
+void ScenarioRun::warm(sim::Time t) {
+  if (t > 0) impl_->cluster.engine().run_until(t);
+}
+
+ScenarioResult ScenarioRun::finish(const FaultPlan& plan) {
+  return impl_->finish(plan);
+}
+
+sim::Engine& ScenarioRun::engine() { return impl_->cluster.engine(); }
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  ScenarioRun run(spec);
+  return run.finish();
 }
 
 // ------------------------------------------------- standard scenarios
@@ -412,6 +487,148 @@ std::string result_table_row(const ScenarioResult& r) {
       r.violations.size(), r.watchdog_events.size(),
       sim::to_msec(r.recovery_time));
   return buf;
+}
+
+// ------------------------------------------------- verdict round-trip
+
+bool verdict_ok(const ScenarioResult& r) {
+  return r.violations.empty() && r.counts.duplicate_deliveries == 0 &&
+         r.counts.unresolved == 0 && r.counts.orphan_events == 0;
+}
+
+json::Value verdict_json(const ScenarioResult& r) {
+  json::Value v;
+  v["name"] = json::Value(r.name);
+  v["seed"] = json::Value(r.seed);
+  v["ok"] = json::Value(verdict_ok(r));
+
+  json::Value counts;
+  counts["injected"] = json::Value(r.counts.injected);
+  counts["delivered"] = json::Value(r.counts.delivered);
+  counts["returned"] = json::Value(r.counts.returned);
+  counts["duplicate_deliveries"] = json::Value(r.counts.duplicate_deliveries);
+  counts["delivered_and_returned"] =
+      json::Value(r.counts.delivered_and_returned);
+  counts["unresolved"] = json::Value(r.counts.unresolved);
+  counts["orphan_events"] = json::Value(r.counts.orphan_events);
+  v["counts"] = std::move(counts);
+
+  json::Value viol{json::Value::Array{}};
+  for (const std::string& s : r.violations) viol.push_back(json::Value(s));
+  v["violations"] = std::move(viol);
+
+  json::Value app;
+  app["requests_issued"] = json::Value(r.requests_issued);
+  app["replies_received"] = json::Value(r.replies_received);
+  app["returns_seen"] = json::Value(r.returns_seen);
+  app["reissued"] = json::Value(r.reissued);
+  app["unfinished"] = json::Value(r.unfinished);
+  v["app"] = std::move(app);
+
+  json::Value tp;
+  tp["retransmissions"] = json::Value(r.retransmissions);
+  tp["timeouts"] = json::Value(r.timeouts);
+  tp["channel_unbinds"] = json::Value(r.channel_unbinds);
+  tp["duplicates_suppressed"] = json::Value(r.duplicates_suppressed);
+  tp["returned_to_sender"] = json::Value(r.returned_to_sender);
+  tp["dropped_down"] = json::Value(r.dropped_down);
+  tp["dropped_fault"] = json::Value(r.dropped_fault);
+  v["transport"] = std::move(tp);
+
+  v["last_fault_at_ns"] = json::Value(static_cast<std::int64_t>(r.last_fault_at));
+  v["resolved_at_ns"] = json::Value(static_cast<std::int64_t>(r.resolved_at));
+  v["recovery_ns"] = json::Value(static_cast<std::int64_t>(r.recovery_time));
+  v["total_ns"] = json::Value(static_cast<std::int64_t>(r.total_time));
+
+  json::Value log{json::Value::Array{}};
+  for (const std::string& s : r.campaign_log) log.push_back(json::Value(s));
+  v["campaign_log"] = std::move(log);
+  v["link_stats"] = json::Value(r.link_stats);
+
+  json::Value stalls{json::Value::Array{}};
+  for (const obs::WatchdogEvent& ev : r.watchdog_events) {
+    json::Value e;
+    e["at_ns"] = json::Value(ev.at_ns);
+    e["rule"] = json::Value(ev.rule);
+    e["subject"] = json::Value(ev.subject);
+    e["detail"] = json::Value(ev.detail);
+    stalls.push_back(std::move(e));
+  }
+  v["stalls"] = std::move(stalls);
+  v["watchdog_summary"] = json::Value(r.watchdog_summary);
+
+  v["replay_digest"] = json::hex_u64(r.replay_digest);
+  v["events_processed"] = json::Value(r.events_processed);
+  return v;
+}
+
+ScenarioResult verdict_from_json(const json::Value& v) {
+  ScenarioResult r;
+  r.name = v["name"].as_string();
+  r.seed = static_cast<std::uint64_t>(v["seed"].as_int());
+
+  const json::Value& c = v["counts"];
+  r.counts.injected = static_cast<std::uint64_t>(c["injected"].as_int());
+  r.counts.delivered = static_cast<std::uint64_t>(c["delivered"].as_int());
+  r.counts.returned = static_cast<std::uint64_t>(c["returned"].as_int());
+  r.counts.duplicate_deliveries =
+      static_cast<std::uint64_t>(c["duplicate_deliveries"].as_int());
+  r.counts.delivered_and_returned =
+      static_cast<std::uint64_t>(c["delivered_and_returned"].as_int());
+  r.counts.unresolved = static_cast<std::uint64_t>(c["unresolved"].as_int());
+  r.counts.orphan_events =
+      static_cast<std::uint64_t>(c["orphan_events"].as_int());
+
+  for (const json::Value& s : v["violations"].as_array()) {
+    r.violations.push_back(s.as_string());
+  }
+
+  const json::Value& app = v["app"];
+  r.requests_issued =
+      static_cast<std::uint64_t>(app["requests_issued"].as_int());
+  r.replies_received =
+      static_cast<std::uint64_t>(app["replies_received"].as_int());
+  r.returns_seen = static_cast<std::uint64_t>(app["returns_seen"].as_int());
+  r.reissued = static_cast<std::uint64_t>(app["reissued"].as_int());
+  r.unfinished = static_cast<std::uint64_t>(app["unfinished"].as_int());
+
+  const json::Value& tp = v["transport"];
+  r.retransmissions =
+      static_cast<std::uint64_t>(tp["retransmissions"].as_int());
+  r.timeouts = static_cast<std::uint64_t>(tp["timeouts"].as_int());
+  r.channel_unbinds =
+      static_cast<std::uint64_t>(tp["channel_unbinds"].as_int());
+  r.duplicates_suppressed =
+      static_cast<std::uint64_t>(tp["duplicates_suppressed"].as_int());
+  r.returned_to_sender =
+      static_cast<std::uint64_t>(tp["returned_to_sender"].as_int());
+  r.dropped_down = static_cast<std::uint64_t>(tp["dropped_down"].as_int());
+  r.dropped_fault = static_cast<std::uint64_t>(tp["dropped_fault"].as_int());
+
+  r.last_fault_at = static_cast<sim::Time>(v["last_fault_at_ns"].as_int());
+  r.resolved_at = static_cast<sim::Time>(v["resolved_at_ns"].as_int());
+  r.recovery_time = static_cast<sim::Duration>(v["recovery_ns"].as_int());
+  r.total_time = static_cast<sim::Duration>(v["total_ns"].as_int());
+
+  for (const json::Value& s : v["campaign_log"].as_array()) {
+    r.campaign_log.push_back(s.as_string());
+  }
+  r.link_stats = v["link_stats"].as_string();
+
+  for (const json::Value& e : v["stalls"].as_array()) {
+    obs::WatchdogEvent ev;
+    ev.at_ns = e["at_ns"].as_int();
+    ev.rule = e["rule"].as_string();
+    ev.subject = e["subject"].as_string();
+    ev.detail = e["detail"].as_string();
+    r.watchdog_events.push_back(std::move(ev));
+  }
+  r.watchdog_summary = v["watchdog_summary"].as_string();
+
+  r.replay_digest = json::parse_hex_u64(v["replay_digest"]);
+  r.events_processed =
+      static_cast<std::uint64_t>(v["events_processed"].as_int());
+  return r;
 }
 
 }  // namespace vnet::chaos

@@ -3,11 +3,13 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "chaos/campaign.hpp"
 #include "chaos/fault_plan.hpp"
+#include "chaos/json.hpp"
 #include "chaos/ledger.hpp"
 #include "cluster/cluster.hpp"
 #include "obs/watchdog.hpp"
@@ -90,10 +92,65 @@ struct ScenarioResult {
   /// component that went quiet while a fault was in force.
   std::vector<obs::WatchdogEvent> watchdog_events;
   std::string watchdog_summary;  ///< rendered table ("" if nothing fired)
+
+  /// Deterministic-replay digest of the whole run (sim::Engine::
+  /// replay_digest at quiescence) and the event count behind it. A fork()ed
+  /// timeline must report the same digest as the straight-through run.
+  std::uint64_t replay_digest = 0;
+  std::uint64_t events_processed = 0;
+};
+
+/// A scenario split at its warmup boundary, for the fork server: the
+/// constructor builds the cluster and workload and draws the spec's fault
+/// plan (fixing the RNG history regardless of which plan is later applied);
+/// warm() runs the timeline fault-free up to a checkpoint; finish() applies
+/// a fault plan — the drawn one or a substitute, e.g. a bisection prefix —
+/// and runs to quiescence. `warm(); fork(); finish()` in each child is
+/// byte-equivalent to a straight-through `finish()` because fork() copies
+/// the entire simulation state.
+class ScenarioRun {
+ public:
+  explicit ScenarioRun(const ScenarioSpec& spec);
+  ~ScenarioRun();
+  ScenarioRun(const ScenarioRun&) = delete;
+  ScenarioRun& operator=(const ScenarioRun&) = delete;
+
+  /// The plan the spec's callback produced (empty if the spec has none).
+  const FaultPlan& default_plan() const;
+
+  /// Latest time safely before the earliest action of `plan`, clamped to
+  /// be non-negative. warm() to this point keeps every fault ahead of the
+  /// checkpoint, so a forked child replays the full fault timeline.
+  sim::Time checkpoint_for(const FaultPlan& plan) const;
+
+  /// Runs the workload fault-free up to absolute time `t`. May be called
+  /// once, before finish().
+  void warm(sim::Time t);
+
+  /// Applies `plan` (actions earlier than now() fire immediately), runs to
+  /// quiescence, drains trailing transport events, and judges the ledger.
+  ScenarioResult finish(const FaultPlan& plan);
+  ScenarioResult finish() { return finish(default_plan()); }
+
+  sim::Engine& engine();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 /// Builds, runs and checks one scenario. Deterministic for a fixed spec.
 ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// Machine-readable verdict for one scenario run: invariant results, stall
+/// flags, transport counters, and the replay digest. Canonical JSON — the
+/// same bytes feed the fork-server pipe, the CI artifact, and the tests.
+json::Value verdict_json(const ScenarioResult& r);
+ScenarioResult verdict_from_json(const json::Value& v);
+
+/// True when every delivery invariant held (no violations, no duplicates,
+/// no silent losses, no orphans). The bisection predicate.
+bool verdict_ok(const ScenarioResult& r);
 
 /// The standard chaos matrix: link_flap, burst_loss, nic_reboot,
 /// host_failover, trunk_flap, chaos.

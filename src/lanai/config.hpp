@@ -101,6 +101,14 @@ struct NicConfig {
   int gam_instr_send = 85;  ///< entire GAM send-side packet handling
   int gam_instr_recv = 50;   ///< entire GAM receive-side packet handling
 
+  /// How long the firmware dozes between send-queue re-polls when every
+  /// sendable descriptor is blocked on a busy channel (stop-and-wait frags
+  /// awaiting acks). Every unblocking transition (ack arrival, channel
+  /// release, reboot, link repair) rings the work condvar, so this is a
+  /// liveness net, not the wakeup path; it bounds how stale a poll can be
+  /// without burning an endpoint-visit charge per loop iteration.
+  sim::Duration blocked_poll_interval = 25 * sim::us;
+
   // ----- SBUS (§6.1: asymmetric DMA rates; PIO for small accesses) -----
   /// NI writing host memory (receive path): 46.8 MB/s hardware limit.
   double sbus_write_ns_per_byte = 1000.0 / 46.8;

@@ -183,11 +183,21 @@ sim::Process Nic::firmware_loop() {
     worked |= co_await service_step();
     // Quiescence checks for pending unload/destroy (§5.3).
     if (!pending_unloads_.empty()) worked |= co_await process_unloads();
-    if (!worked && !work_pending()) {
-      // The re-check closes a lost-wakeup race: a doorbell can ring while
-      // this loop is mid-step (awaiting an instruction charge), in which
-      // case its notify finds no waiter and would otherwise be lost.
-      co_await work_.wait();
+    if (!worked) {
+      // The work_pending() re-check closes a lost-wakeup race: a doorbell
+      // can ring while this loop is mid-step (awaiting an instruction
+      // charge), in which case its notify finds no waiter and would
+      // otherwise be lost.
+      if (!work_pending()) {
+        co_await work_.wait();
+      } else {
+        // Descriptors have unsent fragments but every one is blocked on a
+        // busy channel (stop-and-wait, awaiting acks). Spinning here would
+        // charge instruction time per loop with nothing to do; every
+        // unblocking transition notifies work_, so doze with a bounded
+        // timeout as a liveness net.
+        co_await work_.wait_for(config_.blocked_poll_interval);
+      }
     }
   }
 }

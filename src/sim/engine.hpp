@@ -163,6 +163,20 @@ class Engine {
   std::size_t live_processes() const { return processes_.size(); }
   std::uint64_t events_processed() const { return events_processed_; }
 
+  /// Deterministic-replay digest: a rolling hash over the fired event
+  /// stream (time, seq, slot) folded with the event count and engine RNG
+  /// state. Address-independent, so it compares across processes — a
+  /// fork()ed timeline that runs to completion must report the same digest
+  /// as the straight-through run, and a fresh run with the same seed must
+  /// match both. Any divergence means hidden nondeterminism.
+  std::uint64_t replay_digest() const {
+    std::uint64_t h = queue_.digest();
+    h ^= 0x9e3779b97f4a7c15ULL * (events_processed_ + 1);
+    h ^= rng_.state_hash();
+    h ^= static_cast<std::uint64_t>(now_) * 0xff51afd7ed558ccdULL;
+    return h;
+  }
+
  private:
   friend class Process;
 

@@ -125,10 +125,24 @@ class EventQueue {
     Time t = s.time;
     UniqueFunction fn = std::move(s.fn);
     s.state = State::kFired;
+    // Replay digest: fold (time, seq, slot) of every fired event into a
+    // rolling hash. seq is the global push order and slot the slab index —
+    // both pure functions of the schedule history, never of addresses — so
+    // two runs (or a fork and its straight-through twin) that execute the
+    // same event stream produce bit-identical digests. One avalanche per
+    // pop suffices (the inputs enter via distinct odd multipliers); this
+    // is on the hot path of every fired event, so keep it to one mix64.
+    digest_ = mix64(digest_ ^ (static_cast<std::uint64_t>(t) +
+                               0x9e3779b97f4a7c15ULL * s.seq +
+                               0xbf58476d1ce4e5b9ULL * top.slot));
     free_slot(top.slot);
     --live_;
     return {t, std::move(fn)};
   }
+
+  /// Rolling hash over every event popped so far — the fired-event stream
+  /// (time, seq, slot). Equal digests mean equal execution histories.
+  std::uint64_t digest() const { return digest_; }
 
   /// Slab occupancy, for the engine's `sim.queue.*` gauges.
   std::size_t slot_capacity() const { return slots_.size(); }
@@ -167,6 +181,13 @@ class EventQueue {
       return b.time < a.time || (b.time == a.time && b.seq < a.seq);
     }
   };
+
+  // SplitMix64 finalizer: full-avalanche 64-bit mixer.
+  static std::uint64_t mix64(std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
 
   std::uint32_t alloc_slot() {
     if (free_slots_.empty()) {
@@ -253,6 +274,7 @@ class EventQueue {
   std::size_t cursor_ = 0;
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
+  std::uint64_t digest_ = 0x243f6a8885a308d3ULL;  // pi, arbitrary non-zero
 };
 
 }  // namespace vnet::sim

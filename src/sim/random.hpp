@@ -43,6 +43,16 @@ class Rng {
   /// Derives an independent stream; deterministic for a given parent state.
   Rng split() { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }
 
+  /// Order-dependent hash of the generator state, for replay digests: two
+  /// runs that drew the same values in the same order have equal hashes.
+  std::uint64_t state_hash() const {
+    std::uint64_t h = 0x6a09e667f3bcc908ULL;
+    for (std::uint64_t word : s_) {
+      h ^= word + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+
   /// Uniform integer in [0, bound). Precondition: bound > 0.
   std::uint64_t below(std::uint64_t bound) {
     // Lemire's multiply-shift rejection method: unbiased and fast.

@@ -94,6 +94,56 @@ TEST(ChaosDeterminism, DifferentSeedsDifferentTimelines) {
   EXPECT_NE(a.campaign_log, b.campaign_log);
 }
 
+// --------------------------------------------------- verdict round-trip
+
+// The machine-readable verdict (fork-server pipe format, CI artifact) must
+// carry the full scenario result: serialize a real run, parse the bytes
+// back, and compare every field the matrix and the digest checks consume.
+TEST(ChaosVerdict, JsonRoundTripPreservesResult) {
+  const ScenarioResult res = run_scenario(standard_scenario("link_flap", 1));
+  const std::string bytes = verdict_json(res).dump();
+
+  json::Value parsed;
+  std::string error;
+  ASSERT_TRUE(json::parse(bytes, &parsed, &error)) << error;
+  const ScenarioResult back = verdict_from_json(parsed);
+
+  EXPECT_EQ(back.name, res.name);
+  EXPECT_EQ(back.seed, res.seed);
+  EXPECT_EQ(back.counts.injected, res.counts.injected);
+  EXPECT_EQ(back.counts.delivered, res.counts.delivered);
+  EXPECT_EQ(back.counts.returned, res.counts.returned);
+  EXPECT_EQ(back.counts.duplicate_deliveries,
+            res.counts.duplicate_deliveries);
+  EXPECT_EQ(back.counts.unresolved, res.counts.unresolved);
+  EXPECT_EQ(back.counts.orphan_events, res.counts.orphan_events);
+  EXPECT_EQ(back.violations, res.violations);
+  EXPECT_EQ(back.requests_issued, res.requests_issued);
+  EXPECT_EQ(back.replies_received, res.replies_received);
+  EXPECT_EQ(back.retransmissions, res.retransmissions);
+  EXPECT_EQ(back.channel_unbinds, res.channel_unbinds);
+  EXPECT_EQ(back.dropped_down, res.dropped_down);
+  EXPECT_EQ(back.dropped_fault, res.dropped_fault);
+  EXPECT_EQ(back.recovery_time, res.recovery_time);
+  EXPECT_EQ(back.total_time, res.total_time);
+  EXPECT_EQ(back.campaign_log, res.campaign_log);
+  EXPECT_EQ(back.link_stats, res.link_stats);
+  ASSERT_EQ(back.watchdog_events.size(), res.watchdog_events.size());
+  for (std::size_t i = 0; i < back.watchdog_events.size(); ++i) {
+    EXPECT_EQ(back.watchdog_events[i].at_ns, res.watchdog_events[i].at_ns);
+    EXPECT_EQ(back.watchdog_events[i].rule, res.watchdog_events[i].rule);
+    EXPECT_EQ(back.watchdog_events[i].subject,
+              res.watchdog_events[i].subject);
+  }
+  EXPECT_EQ(back.replay_digest, res.replay_digest);
+  EXPECT_EQ(back.events_processed, res.events_processed);
+  EXPECT_EQ(verdict_ok(back), verdict_ok(res));
+
+  // Canonical serialization: re-dumping the parsed document reproduces the
+  // same bytes (sorted keys, stable number formatting).
+  EXPECT_EQ(verdict_json(back).dump(), bytes);
+}
+
 // -------------------------------------- NIC reboot under in-flight bulk
 
 // SRAM channel state, epochs, and the in-flight fragment bindings die with

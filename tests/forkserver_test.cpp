@@ -1,0 +1,154 @@
+// Fork-server tests: fork() must be a proven determinism-preserving
+// snapshot (fork-at-checkpoint digest == straight-through digest, for every
+// standard scenario), the bisector must reduce a deliberately planted
+// ledger violation to exactly its triggering action, and a crashing child
+// must be contained — reported as a failed cell, never a dead matrix.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "chaos/forkserver.hpp"
+#include "chaos/scenario.hpp"
+
+namespace vnet::chaos {
+namespace {
+
+// ---------------------------------------------- fork-vs-straight digests
+
+// For each standard scenario: warm once, fork a child that runs the fault
+// timeline to completion, then run the parent's copy of the same image
+// straight through. The child inherited the simulation by copy-on-write,
+// so any digest divergence means hidden nondeterminism (address-dependent
+// ordering, uninitialized reads, wall-clock leakage).
+TEST(ForkServer, ForkAtCheckpointMatchesStraightThroughDigest) {
+  if (!fork_available()) GTEST_SKIP() << "no fork() on this platform";
+  for (const std::string& name : standard_scenario_names()) {
+    ForkServer server(standard_scenario(name, 1));
+    const FaultPlan plan = server.default_plan();
+    const ForkOutcome forked = server.run_child(plan);
+    ASSERT_FALSE(forked.crashed)
+        << name << ": child died: " << forked.detail << "\n"
+        << forked.stderr_tail;
+    const ScenarioResult straight = server.run_inline(plan);
+
+    EXPECT_NE(straight.replay_digest, 0u) << name;
+    EXPECT_EQ(forked.result.replay_digest, straight.replay_digest)
+        << name << ": forked timeline diverged from straight-through run";
+    EXPECT_EQ(forked.result.events_processed, straight.events_processed)
+        << name;
+    EXPECT_EQ(forked.result.counts.injected, straight.counts.injected);
+    EXPECT_EQ(forked.result.counts.delivered, straight.counts.delivered);
+    EXPECT_EQ(forked.result.total_time, straight.total_time) << name;
+    EXPECT_EQ(forked.result.campaign_log, straight.campaign_log) << name;
+  }
+}
+
+// A fresh straight-through run in a new engine must also match: the digest
+// is address-independent, not merely fork-stable.
+TEST(ForkServer, DigestMatchesAcrossProcessesAndFreshRuns) {
+  if (!fork_available()) GTEST_SKIP() << "no fork() on this platform";
+  const ScenarioSpec spec = standard_scenario("link_flap", 2);
+  ForkServer server(spec);
+  const ForkOutcome forked = server.run_child(server.default_plan());
+  ASSERT_FALSE(forked.crashed) << forked.detail;
+  const ScenarioResult fresh = run_scenario(spec);
+  // The warmed image ran run_until(checkpoint) before the campaign was
+  // scheduled, so its event seq history differs from run_scenario's — the
+  // counts must agree even though the digests legitimately differ.
+  EXPECT_EQ(forked.result.counts.injected, fresh.counts.injected);
+  EXPECT_EQ(forked.result.counts.delivered, fresh.counts.delivered);
+  EXPECT_EQ(forked.result.replies_received, fresh.replies_received);
+  EXPECT_TRUE(verdict_ok(forked.result));
+  EXPECT_TRUE(verdict_ok(fresh));
+}
+
+// --------------------------------------------------- planted-break bisect
+
+ScenarioSpec planted_spec() {
+  ScenarioSpec s;
+  s.name = "planted";
+  s.seed = 5;
+  s.clients = 1;
+  s.requests_per_client = 6;
+  s.plan = [](cluster::Cluster&, sim::Rng&) {
+    // Seven benign actions around one poison: the phantom delivery at 3 ms
+    // is the only action that breaks an invariant.
+    return FaultPlan{}
+        .host_flap(1 * sim::ms, 1, 300 * sim::us)
+        .fault_rates(2 * sim::ms, 0.02, 0.0)
+        .fault_rates(2500 * sim::us, 0.0, 0.0)
+        .poison(3 * sim::ms)
+        .host_flap(4 * sim::ms, 1, 200 * sim::us);
+  };
+  return s;
+}
+
+TEST(ForkServer, BisectIsolatesPlantedViolationToSingleAction) {
+  const BisectReport report = bisect_invariant_break(planted_spec());
+  ASSERT_TRUE(report.found) << "planted poison never broke an invariant";
+  EXPECT_EQ(report.trigger_time, 3 * sim::ms);
+  ASSERT_EQ(report.minimal_plan.size(), 1u)
+      << "repro still carries non-triggering actions:\n"
+      << render_repro(report);
+  EXPECT_EQ(report.minimal_plan.actions()[0].kind,
+            FaultAction::Kind::kPoison);
+  EXPECT_FALSE(verdict_ok(report.failing));
+  EXPECT_GT(report.failing.counts.orphan_events, 0u);
+
+  // The artifact must round-trip into a re-runnable plan.
+  const json::Value repro = repro_json(report);
+  const FaultPlan replanned = plan_from_json(repro["minimal_plan"]);
+  ASSERT_EQ(replanned.size(), 1u);
+  EXPECT_EQ(replanned.actions()[0].at, 3 * sim::ms);
+  const ScenarioResult rerun = ScenarioRun(planted_spec()).finish(replanned);
+  EXPECT_FALSE(verdict_ok(rerun))
+      << "deserialized minimal repro no longer reproduces the break";
+}
+
+TEST(ForkServer, BisectReportsCleanPlanAsNoBreak) {
+  const BisectReport report =
+      bisect_invariant_break(standard_scenario("link_flap", 1));
+  EXPECT_FALSE(report.found);
+  EXPECT_EQ(report.minimal_plan.size(), 0u);
+}
+
+// ----------------------------------------------------- crash containment
+
+TEST(ForkServer, ChildCrashIsContainedAndServerStaysUsable) {
+  if (!fork_available()) GTEST_SKIP() << "no fork() on this platform";
+  ForkServer server(standard_scenario("link_flap", 1));
+  server.child_hook = [] { std::abort(); };
+  const ForkOutcome crashed = server.run_child(server.default_plan());
+  EXPECT_TRUE(crashed.crashed);
+  EXPECT_NE(crashed.detail.find("signal"), std::string::npos)
+      << "detail: " << crashed.detail;
+  ASSERT_FALSE(crashed.result.violations.empty());
+  EXPECT_FALSE(verdict_ok(crashed.result));
+  EXPECT_EQ(crashed.result.name, "link_flap");
+
+  // The parent image survived; the matrix can go on.
+  server.child_hook = nullptr;
+  const ForkOutcome ok = server.run_child(server.default_plan());
+  ASSERT_FALSE(ok.crashed) << ok.detail << "\n" << ok.stderr_tail;
+  EXPECT_TRUE(verdict_ok(ok.result));
+}
+
+TEST(ForkServer, MatrixFinishesInOrderAroundManyCells) {
+  if (!fork_available()) GTEST_SKIP() << "no fork() on this platform";
+  std::vector<ScenarioSpec> specs;
+  specs.push_back(standard_scenario("link_flap", 1));
+  specs.push_back(standard_scenario("nic_reboot", 1));
+  specs.push_back(standard_scenario("host_failover", 1));
+  const std::vector<ForkOutcome> outcomes = run_matrix(specs, 2);
+  ASSERT_EQ(outcomes.size(), specs.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_FALSE(outcomes[i].crashed)
+        << specs[i].name << ": " << outcomes[i].detail;
+    EXPECT_EQ(outcomes[i].result.name, specs[i].name);
+    EXPECT_TRUE(verdict_ok(outcomes[i].result)) << specs[i].name;
+  }
+}
+
+}  // namespace
+}  // namespace vnet::chaos
