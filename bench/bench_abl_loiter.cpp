@@ -44,7 +44,9 @@ int main() {
         });
         *slot = ep->name();
         while (!stop) {
-          if (co_await ep->wait_for(t, 1 * sim::ms)) co_await ep->poll(t, 32);
+          if (co_await ep->wait_events_for(t, am::kEventArrivals, 1 * sim::ms)) {
+            co_await ep->poll(t, 32);
+          }
         }
       };
     };

@@ -5,7 +5,7 @@
 // time); only the simulator's real elapsed time changes. Numbers go into
 // EXPERIMENTS.md.
 //
-// Usage: bench_attr_overhead [--reps N] [--pingpongs N] [--stream N]
+// Usage: bench_attr_overhead [--reps N] [--pingpongs N] [--stream N] [--quick]
 
 #include <chrono>
 #include <cstdio>
@@ -16,6 +16,7 @@
 #include "am/endpoint.hpp"
 #include "cluster/cluster.hpp"
 #include "cluster/config.hpp"
+#include "common.hpp"
 #include "obs/attr.hpp"
 
 namespace {
@@ -94,18 +95,18 @@ double best_of(unsigned interval, int reps, int pingpongs, int stream) {
 
 int main(int argc, char** argv) {
   int reps = 3, pingpongs = 300, stream = 5000;
-  for (int i = 1; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--reps") && i + 1 < argc) {
-      reps = std::atoi(argv[++i]);
-    } else if (!std::strcmp(argv[i], "--pingpongs") && i + 1 < argc) {
-      pingpongs = std::atoi(argv[++i]);
-    } else if (!std::strcmp(argv[i], "--stream") && i + 1 < argc) {
-      stream = std::atoi(argv[++i]);
-    } else {
-      std::fprintf(stderr, "usage: %s [--reps N] [--pingpongs N] [--stream N]\n",
-                   argv[0]);
-      return 2;
-    }
+  bool quick = false;
+  vnet::bench::Args args(
+      "Wall-clock overhead of the per-message flight recorder.");
+  args.option("--reps", &reps, "N", "repetitions (keep best)")
+      .option("--pingpongs", &pingpongs, "N", "ping-pong round trips")
+      .option("--stream", &stream, "N", "streamed messages")
+      .flag("--quick", &quick, "smoke run: 1 rep, small workload");
+  if (!args.parse(argc, argv)) return 2;
+  if (quick) {
+    reps = 1;
+    pingpongs = 50;
+    stream = 500;
   }
 
   std::printf("attribution overhead: %d ping-pongs + %d stream msgs, "

@@ -22,6 +22,7 @@
 
 #include "chaos/forkserver.hpp"
 #include "chaos/scenario.hpp"
+#include "common.hpp"
 
 using namespace vnet;
 
@@ -49,35 +50,20 @@ int main(int argc, char** argv) {
   bool serial = false;
   bool verify_digest = false;
   bool bisect = false;
-  for (int i = 1; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--seeds") && i + 1 < argc) {
-      seeds = std::atoi(argv[++i]);
-    } else if (!std::strcmp(argv[i], "--seed-base") && i + 1 < argc) {
-      seed_base = static_cast<std::uint64_t>(std::atoll(argv[++i]));
-    } else if (!std::strcmp(argv[i], "--scenario") && i + 1 < argc) {
-      only = argv[++i];
-    } else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
-      jobs = std::atoi(argv[++i]);
-    } else if (!std::strcmp(argv[i], "--serial")) {
-      serial = true;
-    } else if (!std::strcmp(argv[i], "--json-dir") && i + 1 < argc) {
-      json_dir = argv[++i];
-    } else if (!std::strcmp(argv[i], "--verify-digest")) {
-      verify_digest = true;
-    } else if (!std::strcmp(argv[i], "--bisect")) {
-      bisect = true;
-    } else if (!std::strcmp(argv[i], "--repro") && i + 1 < argc) {
-      repro_path = argv[++i];
-    } else {
-      std::fprintf(
-          stderr,
-          "usage: %s [--seeds N] [--seed-base S] [--scenario NAME] "
-          "[--jobs J] [--serial] [--json-dir DIR] [--verify-digest] "
-          "[--bisect] [--repro FILE]\n",
-          argv[0]);
-      return 2;
-    }
-  }
+  bench::Args args(
+      "Chaos fault-injection matrix through the fork server; deterministic "
+      "output for fixed flags.");
+  args.option("--seeds", &seeds, "N", "seeds per scenario")
+      .option("--seed-base", &seed_base, "S", "first seed value")
+      .option("--scenario", &only, "NAME", "run only this scenario")
+      .option("--jobs", &jobs, "J", "parallel fork-server children")
+      .flag("--serial", &serial, "run in-process, no fork server")
+      .option("--json-dir", &json_dir, "DIR", "write per-cell verdict JSON here")
+      .flag("--verify-digest", &verify_digest,
+            "prove forked timelines match straight-through replay digests")
+      .flag("--bisect", &bisect, "bisect any invariant break to a minimal repro")
+      .option("--repro", &repro_path, "FILE", "write bisected repro JSON here");
+  if (!args.parse(argc, argv)) return 2;
 
   if (seeds < 1) {
     std::fprintf(stderr, "error: --seeds must be >= 1 (got %d)\n", seeds);

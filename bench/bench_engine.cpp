@@ -10,7 +10,8 @@
 // benchmark (fixed ALU workload) so the gate can normalize away machine
 // speed differences and compare shape, not silicon.
 //
-// Usage: bench_engine [--out PATH] [--repeats N] [--min-secs S] [--quick]
+// Usage: bench_engine [--json PATH] [--repeats N] [--min-secs S] [--quick]
+// (--out is a legacy alias for --json kept for existing scripts.)
 
 #include <chrono>
 #include <cstdint>
@@ -22,6 +23,7 @@
 
 #include "am/endpoint.hpp"
 #include "apps/bandwidth.hpp"
+#include "common.hpp"
 #include "chaos/scenario.hpp"
 #include "cluster/cluster.hpp"
 #include "cluster/config.hpp"
@@ -44,6 +46,10 @@ struct BenchResult {
   double rate = 0;       // items per wall second, best repeat
   double wall_s = 0;     // wall seconds of the best repeat
   std::uint64_t items = 0;
+  // Value metric rather than a throughput: `rate` holds the value itself,
+  // lower is better, and the gate must not normalize it by calib_spin
+  // (it measures simulated work, not wall time).
+  bool lower_is_better = false;
 };
 
 struct Bench {
@@ -190,7 +196,12 @@ std::uint64_t coroutine_delay_loop() {
 
 // End-to-end: complete AM request/replies through the full simulated stack
 // (each is dozens of events through host, NIC firmware, and fabric).
-std::uint64_t full_stack_message_rate() {
+struct FullStackCounts {
+  std::uint64_t msgs = 0;
+  std::uint64_t events = 0;  // engine events processed for the whole pass
+};
+
+FullStackCounts full_stack_pass() {
   cluster::Cluster cl(cluster::NowConfig(2));
   am::Name server;
   std::uint64_t got = 0;
@@ -203,7 +214,9 @@ std::uint64_t full_stack_message_rate() {
     });
     server = ep->name();
     while (!stop) {
-      if (co_await ep->wait_for(t, 1 * sim::ms)) co_await ep->poll(t, 32);
+      if (co_await ep->wait_events_for(t, am::kEventArrivals, 1 * sim::ms)) {
+        co_await ep->poll(t, 32);
+      }
     }
   });
   cl.spawn_thread(0, "c", [&](host::HostThread& t) -> sim::Task<> {
@@ -215,8 +228,10 @@ std::uint64_t full_stack_message_rate() {
     stop = true;
   });
   cl.run_to_completion();
-  return got;
+  return {got, cl.engine().events_processed()};
 }
+
+std::uint64_t full_stack_message_rate() { return full_stack_pass().msgs; }
 
 // Wall-clock pass over a reduced Fig 4 bandwidth sweep (same code path as
 // bench_fig4_bandwidth). Items = simulated events, so the rate reads as
@@ -247,14 +262,16 @@ void write_json(const std::string& path,
     std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"schema\": 1,\n  \"benchmarks\": [\n");
+  std::fprintf(f, "{\n  \"schema\": 2,\n  \"benchmarks\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"unit\": \"%s\", \"rate\": %.6g, "
-                 "\"wall_s\": %.4g, \"items\": %llu}%s\n",
+                 "\"wall_s\": %.4g, \"items\": %llu%s}%s\n",
                  r.name.c_str(), r.unit.c_str(), r.rate, r.wall_s,
                  static_cast<unsigned long long>(r.items),
+                 r.lower_is_better ? ", \"direction\": \"lower\", \"raw\": true"
+                                   : "",
                  i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -268,23 +285,17 @@ int main(int argc, char** argv) {
   std::string out = "BENCH_engine.json";
   int repeats = 3;
   double min_secs = 0.4;
-  for (int i = 1; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
-      out = argv[++i];
-    } else if (!std::strcmp(argv[i], "--repeats") && i + 1 < argc) {
-      repeats = std::atoi(argv[++i]);
-    } else if (!std::strcmp(argv[i], "--min-secs") && i + 1 < argc) {
-      min_secs = std::atof(argv[++i]);
-    } else if (!std::strcmp(argv[i], "--quick")) {
-      repeats = 1;
-      min_secs = 0.05;
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--out PATH] [--repeats N] [--min-secs S] "
-                   "[--quick]\n",
-                   argv[0]);
-      return 2;
-    }
+  bool quick = false;
+  bench::Args args("Engine microbenchmark suite; diffed by scripts/bench_gate.sh.");
+  args.option("--json", &out, "PATH", "machine-readable results file")
+      .option("--out", &out, "PATH", "legacy alias for --json")
+      .option("--repeats", &repeats, "N", "repeats per benchmark (keep best)")
+      .option("--min-secs", &min_secs, "S", "minimum wall time per repeat")
+      .flag("--quick", &quick, "smoke run: 1 repeat, 0.05s per benchmark");
+  if (!args.parse(argc, argv)) return 2;
+  if (quick) {
+    repeats = 1;
+    min_secs = 0.05;
   }
 
   const std::vector<Bench> benches = {
@@ -307,6 +318,24 @@ int main(int argc, char** argv) {
     BenchResult r = run_bench(b, repeats, min_secs);
     std::printf("%-26s %14.0f %-12s %10.3f\n", r.name.c_str(), r.rate,
                 r.unit.c_str(), r.wall_s);
+    results.push_back(std::move(r));
+  }
+
+  // Batching-efficiency metric: engine events per completed request/reply
+  // cycle on the full stack. The value is a property of the simulated
+  // schedule, not the machine — deterministic across runs, exempt from
+  // calib_spin normalization, and lower is better. The gate fails if the
+  // batched datapath regresses even on hardware fast enough to hide it.
+  {
+    const FullStackCounts fs = full_stack_pass();
+    BenchResult r;
+    r.name = "events_per_message";
+    r.unit = "events/msg";
+    r.rate = static_cast<double>(fs.events) / static_cast<double>(fs.msgs);
+    r.items = fs.msgs;
+    r.lower_is_better = true;
+    std::printf("%-26s %14.2f %-12s %10s\n", r.name.c_str(), r.rate,
+                r.unit.c_str(), "-");
     results.push_back(std::move(r));
   }
   write_json(out, results);

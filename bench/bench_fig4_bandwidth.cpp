@@ -11,24 +11,20 @@
 // bandwidth-vs-size curve from it with no code changes.
 
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <vector>
 
 #include "apps/bandwidth.hpp"
 #include "cluster/config.hpp"
+#include "common.hpp"
 
 int main(int argc, char** argv) {
   using namespace vnet;
   std::string csv_path;
-  for (int i = 1; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--csv") && i + 1 < argc) {
-      csv_path = argv[++i];
-    } else {
-      std::fprintf(stderr, "usage: %s [--csv PATH]\n", argv[0]);
-      return 2;
-    }
-  }
+  bench::Args args("Figure 4 bandwidth sweep with SBUS DMA reference curves.");
+  args.option("--csv", &csv_path, "PATH",
+              "write the 100us registry-sampler time series here");
+  if (!args.parse(argc, argv)) return 2;
 
   const std::vector<std::uint32_t> sizes = {128,  256,  512,  1024,
                                             2048, 4096, 6144, 8192};

@@ -22,6 +22,7 @@
 #include "chaos/forkserver.hpp"
 #include "cluster/cluster.hpp"
 #include "cluster/config.hpp"
+#include "common.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/wait.h>
@@ -61,10 +62,9 @@ ReproResult run_repro(int total, std::uint64_t seed) {
         ++r.served[sidx];
         m.reply(2, {m.arg(0)});
       });
-      ep->set_event_mask(am::kEventReceive);
       sname[sidx] = ep->name();
       while (!stop) {
-        if (co_await ep->wait_for(t, 2 * sim::ms)) {
+        if (co_await ep->wait_events_for(t, am::kEventReceive, 2 * sim::ms)) {
           while (co_await ep->poll(t, 16) > 0) {
           }
         }
@@ -216,21 +216,17 @@ int main(int argc, char** argv) {
   int nsweep = 0;
   int jobs = 4;
   std::uint64_t seed = 1;
-  std::vector<const char*> positional;
-  for (int i = 1; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--sweep") && i + 1 < argc) {
-      nsweep = std::atoi(argv[++i]);
-    } else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
-      jobs = std::max(1, std::atoi(argv[++i]));
-    } else if (!std::strcmp(argv[i], "--total") && i + 1 < argc) {
-      total = std::atoi(argv[++i]);
-    } else {
-      positional.push_back(argv[i]);
-    }
-  }
-  if (!positional.empty()) total = std::atoi(positional[0]);
+  std::vector<std::string> positional;
+  bench::Args args("Reply-loss reproducer (single run or forked seed sweep).");
+  args.option("--sweep", &nsweep, "N", "sweep seeds 1..N in forked children")
+      .option("--jobs", &jobs, "J", "parallel sweep children")
+      .option("--total", &total, "T", "requests per client")
+      .positionals(&positional, "TOTAL SEED");
+  if (!args.parse(argc, argv)) return 2;
+  jobs = std::max(1, jobs);
+  if (!positional.empty()) total = std::atoi(positional[0].c_str());
   if (positional.size() > 1) {
-    seed = static_cast<std::uint64_t>(std::atoll(positional[1]));
+    seed = std::strtoull(positional[1].c_str(), nullptr, 10);
   }
 
   if (nsweep > 0) return sweep(total, nsweep, jobs);

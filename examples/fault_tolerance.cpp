@@ -32,10 +32,11 @@ int main() {
         m.reply(2, {m.arg(0)});
         (void)label;
       });
-      ep->set_event_mask(am::kEventReceive);
       *slot = ep->name();
       while (!stop) {
-        if (co_await ep->wait_for(t, 2 * sim::ms)) co_await ep->poll(t, 16);
+        if (co_await ep->wait_events_for(t, am::kEventReceive, 2 * sim::ms)) {
+          co_await ep->poll(t, 16);
+        }
       }
     };
   };

@@ -35,10 +35,9 @@ sim::Task<> service(host::HostThread& t, Services& sv, am::Name* slot,
     m.reply(2, {m.arg(0) + 1});
     (void)name;
   });
-  ep->set_event_mask(am::kEventReceive);
   *slot = ep->name();
   while (!sv.stop) {
-    if (co_await ep->wait_for(t, 2 * sim::ms)) {
+    if (co_await ep->wait_events_for(t, am::kEventReceive, 2 * sim::ms)) {
       while (co_await ep->poll(t, 16) > 0) {
       }
     }

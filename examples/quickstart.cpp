@@ -30,9 +30,10 @@ int main() {
     });
     server_name = ep->name();
     // Event-driven: sleep until a message arrives, then handle it (§3.3).
-    ep->set_event_mask(am::kEventReceive);
     while (!done) {
-      if (co_await ep->wait_for(t, 1 * sim::ms)) co_await ep->poll(t);
+      if (co_await ep->wait_events_for(t, am::kEventReceive, 1 * sim::ms)) {
+        co_await ep->poll(t);
+      }
     }
     co_await ep->destroy(t);
   });

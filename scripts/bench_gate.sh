@@ -9,6 +9,11 @@
 # gate therefore checks the *shape* of the performance profile, not the
 # silicon. A normalized rate more than TOLERANCE below baseline fails.
 #
+# Entries may carry "direction": "lower" (smaller value is better, e.g.
+# events_per_message) and "raw": true (a property of the simulated schedule,
+# compared without calib_spin normalization). In every case the printed
+# ratio is oriented so >1 means improved and <1-TOLERANCE fails.
+#
 # Usage: scripts/bench_gate.sh [--update] [--current PATH] [--quick]
 #   --update        refresh BENCH_engine.json from this machine and exit
 #   --current PATH  where to write the fresh results (default /tmp)
@@ -63,26 +68,36 @@ baseline_path, current_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
 base = json.load(open(baseline_path))
 cur = json.load(open(current_path))
 
-def rates(doc):
-    return {b["name"]: float(b["rate"]) for b in doc["benchmarks"]}
+def entries(doc):
+    return {b["name"]: b for b in doc["benchmarks"]}
 
-base_r, cur_r = rates(base), rates(cur)
-base_spin = base_r.get("calib_spin", 0.0)
-cur_spin = cur_r.get("calib_spin", 0.0)
+base_e, cur_e = entries(base), entries(cur)
+base_spin = float(base_e.get("calib_spin", {}).get("rate", 0.0))
+cur_spin = float(cur_e.get("calib_spin", {}).get("rate", 0.0))
 normalize = base_spin > 0 and cur_spin > 0
 if not normalize:
     print("warning: calib_spin missing; comparing raw rates")
 
 rows, failed = [], []
-for name, b in base_r.items():
+for name, be in base_e.items():
     if name == "calib_spin":
         continue
-    c = cur_r.get(name)
-    if c is None:
+    ce = cur_e.get(name)
+    b = float(be["rate"])
+    if ce is None:
         rows.append((name, b, None, None, "MISSING"))
         failed.append(name)
         continue
-    ratio = (c / cur_spin) / (b / base_spin) if normalize else c / b
+    c = float(ce["rate"])
+    raw = bool(be.get("raw") or ce.get("raw"))
+    lower = be.get("direction", "higher") == "lower"
+    # Orient the ratio so >1 always means "improved".
+    if lower:
+        ratio = b / c if c > 0 else float("inf")
+    elif normalize and not raw:
+        ratio = (c / cur_spin) / (b / base_spin)
+    else:
+        ratio = c / b
     if ratio < 1.0 - tol:
         status = "REGRESSION"
         failed.append(name)
@@ -92,11 +107,15 @@ for name, b in base_r.items():
         status = "ok"
     rows.append((name, b, c, ratio, status))
 
+def fmt(v):
+    if v is None:
+        return f"{'-':>14}"
+    return f"{v:14.2f}" if v < 1000 else f"{v:14.0f}"
+
 print(f"{'benchmark':<26} {'baseline':>14} {'current':>14} {'norm-ratio':>10}  status")
 for name, b, c, ratio, status in rows:
-    cs = f"{c:14.0f}" if c is not None else f"{'-':>14}"
     rs = f"{ratio:10.3f}" if ratio is not None else f"{'-':>10}"
-    print(f"{name:<26} {b:14.0f} {cs} {rs}  {status}")
+    print(f"{name:<26} {fmt(b)} {fmt(c)} {rs}  {status}")
 
 if failed:
     print(f"\nPERF GATE FAILED: {', '.join(failed)} "

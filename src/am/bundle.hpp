@@ -31,23 +31,25 @@ class Bundle {
   std::size_t size() const { return endpoints_.size(); }
   Endpoint* at(std::size_t i) { return endpoints_[i].get(); }
 
-  /// Blocks the calling thread until some member endpoint has a pending
-  /// event (per its mask); returns that endpoint.
-  sim::Task<Endpoint*> wait_any(host::HostThread& t) {
+  /// Blocks the calling thread until some member endpoint has an event in
+  /// `mask` pending; returns that endpoint. The mask is explicit, same as
+  /// Endpoint::wait_events() — a serving loop passes kEventArrivals.
+  sim::Task<Endpoint*> wait_any(host::HostThread& t, std::uint32_t mask) {
     for (;;) {
       for (auto& ep : endpoints_) {
-        if (ep->has_masked_event()) co_return ep.get();
+        if (ep->has_event(mask)) co_return ep.get();
       }
       co_await t.block(events_);
     }
   }
 
   /// wait_any with a timeout; nullptr if nothing arrived in time.
-  sim::Task<Endpoint*> wait_any_for(host::HostThread& t, sim::Duration d) {
+  sim::Task<Endpoint*> wait_any_for(host::HostThread& t, std::uint32_t mask,
+                                    sim::Duration d) {
     const sim::Time deadline = t.engine().now() + d;
     for (;;) {
       for (auto& ep : endpoints_) {
-        if (ep->has_masked_event()) co_return ep.get();
+        if (ep->has_event(mask)) co_return ep.get();
       }
       const sim::Duration rem = deadline - t.engine().now();
       if (rem <= 0) co_return nullptr;

@@ -34,6 +34,7 @@ Endpoint::Endpoint(host::Host& host, lanai::EndpointState* state, bool shared)
   counters_.messages_handled = reg.counter(prefix + ".messages_handled");
   counters_.returns_handled = reg.counter(prefix + ".returns_handled");
   counters_.send_stalls = reg.counter(prefix + ".send_stalls");
+  counters_.wait_wakeups = reg.counter(prefix + ".wait_wakeups");
   VNET_TRACE_INSTANT(host.engine().tracer(), "endpoint", "ep_create",
                      static_cast<int>(state_->node), 0,
                      {{"ep", static_cast<std::int64_t>(state_->id)}});
@@ -99,21 +100,41 @@ void Endpoint::set_handler(std::uint8_t index, Handler h) {
 
 // ---------------------------------------------------------------- events
 
-sim::Task<> Endpoint::wait(host::HostThread& t) {
-  while (!poll_would_find_work_masked()) {
+namespace {
+
+// Debug-time guard on wait masks: empty masks never wake, and all-bits
+// masks include level-triggered kEventSendSpace, which turns the wait into
+// a spin-poll (the PR 6 workload bug). Callers must name what they consume.
+inline void assert_explicit_mask([[maybe_unused]] std::uint32_t mask) {
+  assert(mask != kEventNone && "wait_events: empty mask would never wake");
+  assert(mask != 0xffffffffu &&
+         "wait_events: kEventAll spin-polls on level-triggered send-space; "
+         "wait on an explicit mask (e.g. kEventArrivals)");
+}
+
+}  // namespace
+
+sim::Task<> Endpoint::wait_events(host::HostThread& t, std::uint32_t mask) {
+  assert_explicit_mask(mask);
+  while (pending_events(mask) == 0) {
     co_await t.block(events_);
     if (destroyed_) co_return;
   }
+  counters_.wait_wakeups.inc();
 }
 
-sim::Task<bool> Endpoint::wait_for(host::HostThread& t, sim::Duration d) {
+sim::Task<bool> Endpoint::wait_events_for(host::HostThread& t,
+                                          std::uint32_t mask,
+                                          sim::Duration d) {
+  assert_explicit_mask(mask);
   const sim::Time deadline = host_->engine().now() + d;
-  while (!poll_would_find_work_masked()) {
+  while (pending_events(mask) == 0) {
     const sim::Duration rem = deadline - host_->engine().now();
     if (rem <= 0) co_return false;
     co_await t.block_for(events_, rem);
     if (destroyed_) co_return false;
   }
+  counters_.wait_wakeups.inc();
   co_return true;
 }
 
@@ -123,19 +144,24 @@ bool Endpoint::poll_would_find_work() const {
           !returned_.empty());
 }
 
-bool Endpoint::poll_would_find_work_masked() const {
-  if (state_ == nullptr) return false;
-  if ((event_mask_ & kEventReceive) != 0 &&
+std::uint32_t Endpoint::pending_events(std::uint32_t mask) const {
+  if (state_ == nullptr) return 0;
+  std::uint32_t pending = 0;
+  if ((mask & kEventReceive) != 0 &&
       (!state_->recv_requests.empty() || !state_->recv_replies.empty())) {
-    return true;
+    pending |= kEventReceive;
   }
-  if ((event_mask_ & kEventReturned) != 0 && !returned_.empty()) return true;
-  if ((event_mask_ & kEventSendSpace) != 0) {
+  if ((mask & kEventReturned) != 0 && !returned_.empty()) {
+    pending |= kEventReturned;
+  }
+  if ((mask & kEventSendSpace) != 0) {
     // A pending reply counts too: processing it returns a credit, so a
     // send-space waiter must wake to poll (credits only move under poll).
-    if (send_space_available() || !state_->recv_replies.empty()) return true;
+    if (send_space_available() || !state_->recv_replies.empty()) {
+      pending |= kEventSendSpace;
+    }
   }
-  return false;
+  return pending;
 }
 
 bool Endpoint::send_space_available() const {
@@ -147,17 +173,17 @@ bool Endpoint::send_space_available() const {
 
 // --------------------------------------------------------------- sending
 
-sim::Task<> Endpoint::charge_send(host::HostThread& t) {
+sim::Duration Endpoint::send_charge() const {
   const host::HostConfig& hc = host_->config();
   const bool gam = !host_->nic().config().reliable_transport;
   const int words =
       gam ? hc.gam_send_descriptor_words : hc.send_descriptor_words;
   const sim::Duration word_cost =
       resident() ? hc.pio_write_word : hc.mem_write_word;
-  co_await t.compute(hc.send_fixed + words * word_cost);
+  return hc.send_fixed + words * word_cost;
 }
 
-sim::Task<> Endpoint::charge_recv(host::HostThread& t) {
+sim::Duration Endpoint::recv_charge() const {
   const host::HostConfig& hc = host_->config();
   const bool gam = !host_->nic().config().reliable_transport;
   sim::Duration d;
@@ -169,9 +195,11 @@ sim::Task<> Endpoint::charge_recv(host::HostThread& t) {
   } else {
     d = 8 * hc.mem_poll;
   }
-  co_await t.compute(hc.recv_fixed + d);
+  return hc.recv_fixed + d;
 }
 
+// Callers guard with `if (shared_)`: spawning the lock task for the
+// exclusive (common) case would cost a coroutine frame per API call.
 sim::Task<> Endpoint::lock(host::HostThread& t) {
   if (!shared_) co_return;
   co_await t.compute(host_->config().shared_lock_cost);
@@ -224,14 +252,18 @@ sim::Task<> Endpoint::reply(
 sim::Task<> Endpoint::send_common(host::HostThread& t,
                                   lanai::SendDescriptor desc,
                                   bool is_request) {
-  co_await lock(t);
+  if (shared_) co_await lock(t);
   const auto depth =
       static_cast<std::size_t>(host_->nic().config().send_queue_depth);
 
-  // Block (spin-polling, like the real library) while the send queue is
-  // full or — for requests — the credit window is exhausted (§6.4).
+  // Block while the send queue is full or — for requests — the credit
+  // window is exhausted (§6.4). One poll pass drains any replies already
+  // delivered (returning credits); after that the stall can only clear
+  // when the NIC makes progress, so park on the event condvar (every
+  // arrival and send-space upcall notifies it) instead of spin-polling:
+  // a spin iteration costs engine events, and at steady state every send
+  // stalls once per message.
   bool stalled = false;
-  int spins = 0;
   while (state_->send_queue.size() >= depth ||
          (is_request && flow_control_ &&
           outstanding_requests_ >= credit_limit_)) {
@@ -241,16 +273,15 @@ sim::Task<> Endpoint::send_common(host::HostThread& t,
     }
     unlock();
     // Poll to drain replies (returning credits) and keep handlers running.
-    co_await poll(t, 4);
-    if (++spins > 64) {
-      // Long stall: yield the processor instead of burning it.
+    const std::size_t handled = co_await poll(t, 4);
+    if (handled == 0) {
+      // Nothing to consume yet; sleep until an upcall rings. The timeout
+      // is a liveness net (credits can also free via returns the
+      // undeliverable handler consumed elsewhere), not the wakeup path.
       co_await t.block_for(events_, 50 * sim::us);
-      spins = 0;
-    } else {
-      co_await t.compute(200);  // spin-poll iteration
     }
     if (destroyed_) co_return;
-    co_await lock(t);
+    if (shared_) co_await lock(t);
   }
 
   // The write into the endpoint may fault (on-host r/o -> r/w, §4.2).
@@ -258,14 +289,20 @@ sim::Task<> Endpoint::send_common(host::HostThread& t,
   // not send overhead, so o_s starts here (the message id that names the
   // flight only exists further down; begin() backdates to enq_at).
   const sim::Time enq_at = host_->engine().now();
-  co_await host_->driver().ensure_writable(t.ctx(), state_);
-  host_->driver().touch(state_);
-  co_await charge_send(t);
-  if (desc.body.bulk_bytes > 0) {
-    // Stage the payload into the pinned communication region.
-    co_await t.compute(static_cast<sim::Duration>(
-        desc.body.bulk_bytes * host_->config().bulk_copy_ns_per_byte));
+  const auto enq_ev =
+      static_cast<std::int64_t>(host_->engine().events_processed());
+  if (!host_->driver().writable(state_)) {
+    co_await host_->driver().ensure_writable(t.ctx(), state_);
   }
+  host_->driver().touch(state_);
+  // One compute covers the descriptor write and (for bulk) staging the
+  // payload into the pinned communication region.
+  sim::Duration send_cost = send_charge();
+  if (desc.body.bulk_bytes > 0) {
+    send_cost += static_cast<sim::Duration>(
+        desc.body.bulk_bytes * host_->config().bulk_copy_ns_per_byte);
+  }
+  co_await t.compute(send_cost);
 
   desc.msg_id = state_->alloc_msg_id();
   desc.frag_count = frag_count_for(desc.body.bulk_bytes,
@@ -289,7 +326,7 @@ sim::Task<> Endpoint::send_common(host::HostThread& t,
   if (attr.enabled()) {
     const auto node = static_cast<std::uint32_t>(state_->node);
     attr_tracked = attr.begin(node, state_->id, desc.msg_id,
-                              static_cast<std::int64_t>(enq_at));
+                              static_cast<std::int64_t>(enq_at), enq_ev);
     attr_key = obs::AttrRecorder::key(node, state_->id, desc.msg_id);
   }
   state_->send_queue.push_back(std::move(desc));
@@ -302,7 +339,8 @@ sim::Task<> Endpoint::send_common(host::HostThread& t,
   host_->nic().doorbell(*state_);
   if (attr_tracked) {
     attr.stamp(attr_key, obs::Stage::kDoorbell,
-               static_cast<std::int64_t>(host_->engine().now()));
+               static_cast<std::int64_t>(host_->engine().now()),
+               static_cast<std::int64_t>(host_->engine().events_processed()));
   }
   unlock();
 }
@@ -311,7 +349,7 @@ sim::Task<> Endpoint::send_common(host::HostThread& t,
 
 sim::Task<std::size_t> Endpoint::poll(host::HostThread& t, std::size_t max) {
   if (destroyed_) co_return 0;
-  co_await lock(t);
+  if (shared_) co_await lock(t);
   const host::HostConfig& hc = host_->config();
   // Probing the endpoint costs an uncached PIO read when it is resident in
   // NIC SRAM, but only a cached load when it lives in host memory — the
@@ -359,7 +397,9 @@ sim::Task<std::size_t> Endpoint::poll(host::HostThread& t, std::size_t max) {
           static_cast<std::uint32_t>(entry.src_node), entry.src_ep,
           entry.msg_id);
       attr.stamp(attr_key, obs::Stage::kHandlerWake,
-                 static_cast<std::int64_t>(host_->engine().now()));
+                 static_cast<std::int64_t>(host_->engine().now()),
+                 static_cast<std::int64_t>(
+                     host_->engine().events_processed()));
       attr_track = true;
     }
     if (credit_only) {
@@ -368,12 +408,14 @@ sim::Task<std::size_t> Endpoint::poll(host::HostThread& t, std::size_t max) {
       co_await t.compute(resident() ? host_->config().pio_read_word
                                     : host_->config().mem_poll);
     } else {
-      co_await charge_recv(t);
+      // One compute covers the descriptor read and (for bulk) copying the
+      // payload out of the communication region.
+      sim::Duration recv_cost = recv_charge();
       if (entry.body.bulk_bytes > 0) {
-        // Copy the payload out of the communication region.
-        co_await t.compute(static_cast<sim::Duration>(
-            entry.body.bulk_bytes * host_->config().bulk_copy_ns_per_byte));
+        recv_cost += static_cast<sim::Duration>(
+            entry.body.bulk_bytes * host_->config().bulk_copy_ns_per_byte);
       }
+      co_await t.compute(recv_cost);
     }
     ++processed;
 
@@ -389,7 +431,9 @@ sim::Task<std::size_t> Endpoint::poll(host::HostThread& t, std::size_t max) {
         if (handlers_[msg.handler()]) handlers_[msg.handler()](*this, msg);
         if (attr_track) {
           attr.finish(attr_key,
-                      static_cast<std::int64_t>(host_->engine().now()));
+                      static_cast<std::int64_t>(host_->engine().now()),
+                      static_cast<std::int64_t>(
+                          host_->engine().events_processed()));
         }
       }
       events_.notify_all();  // credit/space became available
@@ -401,7 +445,9 @@ sim::Task<std::size_t> Endpoint::poll(host::HostThread& t, std::size_t max) {
     if (attr_track) {
       // Handler return completes the request's flight; the reply enqueued
       // below is its own flight.
-      attr.finish(attr_key, static_cast<std::int64_t>(host_->engine().now()));
+      attr.finish(attr_key, static_cast<std::int64_t>(host_->engine().now()),
+                  static_cast<std::int64_t>(
+                      host_->engine().events_processed()));
     }
 
     // Request/reply paradigm: send the handler's reply, or an implicit
@@ -443,8 +489,14 @@ sim::Task<> Endpoint::enqueue_reply_locked(host::HostThread& t,
     if (destroyed_) co_return;
   }
   const sim::Time enq_at = host_->engine().now();
-  co_await host_->driver().ensure_writable(t.ctx(), state_);
-  co_await charge_send(t);
+  const auto enq_ev =
+      static_cast<std::int64_t>(host_->engine().events_processed());
+  if (!host_->driver().writable(state_)) {
+    co_await host_->driver().ensure_writable(t.ctx(), state_);
+  } else {
+    host_->driver().touch(state_);
+  }
+  co_await t.compute(send_charge());
   d.msg_id = state_->alloc_msg_id();
   d.frag_count = frag_count_for(d.body.bulk_bytes,
                                 host_->nic().config().max_packet_payload);
@@ -460,14 +512,15 @@ sim::Task<> Endpoint::enqueue_reply_locked(host::HostThread& t,
   if (attr.enabled() && tracked_kind) {
     const auto node = static_cast<std::uint32_t>(state_->node);
     attr_tracked = attr.begin(node, state_->id, d.msg_id,
-                              static_cast<std::int64_t>(enq_at));
+                              static_cast<std::int64_t>(enq_at), enq_ev);
     attr_key = obs::AttrRecorder::key(node, state_->id, d.msg_id);
   }
   state_->send_queue.push_back(std::move(d));
   host_->nic().doorbell(*state_);
   if (attr_tracked) {
     attr.stamp(attr_key, obs::Stage::kDoorbell,
-               static_cast<std::int64_t>(host_->engine().now()));
+               static_cast<std::int64_t>(host_->engine().now()),
+               static_cast<std::int64_t>(host_->engine().events_processed()));
   }
 }
 

@@ -28,12 +28,26 @@ struct Name {
 };
 
 /// Endpoint state transitions an application can sensitize to (§3.3).
+///
+/// Events are *level-triggered*: a wait returns while the condition holds,
+/// not only on its edge. That makes a blanket mask a spin-poll hazard —
+/// kEventSendSpace is true almost always, so a loop waiting on "anything"
+/// re-wakes forever without consuming work. Waits therefore take an
+/// explicit mask naming exactly the conditions the loop consumes.
 enum EventMask : std::uint32_t {
   kEventNone = 0,
   kEventReceive = 1u << 0,    ///< a message arrived in a receive queue
   kEventSendSpace = 1u << 1,  ///< send-queue space / credit became available
   kEventReturned = 1u << 2,   ///< a message came back undeliverable
-  kEventAll = 0xffffffffu,
+  /// What a serving/draining loop consumes: deliveries and returns. This
+  /// is the mask for "wake me when poll() would find something".
+  kEventArrivals = kEventReceive | kEventReturned,
+  /// Deprecated: an all-bits mask includes level-triggered kEventSendSpace
+  /// and turns the wait into a silent spin-poll (the PR 6 workload bug).
+  /// wait_events() rejects it; name the conditions you consume instead.
+  kEventAll [[deprecated(
+      "blanket masks spin-poll on level-triggered send-space; wait on an "
+      "explicit mask (e.g. kEventArrivals)")]] = 0xffffffffu,
 };
 
 /// The user-level communication endpoint — the core abstraction of the
@@ -96,14 +110,15 @@ class Endpoint {
 
   // ---- events & threads (§3.3) ----
 
-  void set_event_mask(std::uint32_t mask) { event_mask_ = mask; }
-  std::uint32_t event_mask() const { return event_mask_; }
-
-  /// Blocks the calling thread until an event enabled in the mask is
-  /// pending (message available, send space, or a returned message).
-  sim::Task<> wait(host::HostThread& t);
-  /// Like wait() with a timeout; true if an event arrived.
-  sim::Task<bool> wait_for(host::HostThread& t, sim::Duration d);
+  /// Blocks the calling thread until an event enabled in `mask` is
+  /// pending. The mask is explicit per wait — there is no endpoint-wide
+  /// default — and must name a real subset of conditions: an empty or
+  /// all-bits mask is rejected (debug assert), because kEventSendSpace is
+  /// level-triggered and a blanket mask degenerates into a spin-poll.
+  sim::Task<> wait_events(host::HostThread& t, std::uint32_t mask);
+  /// Like wait_events() with a timeout; true if an event is pending.
+  sim::Task<bool> wait_events_for(host::HostThread& t, std::uint32_t mask,
+                                  sim::Duration d);
 
   // ---- communication ----
 
@@ -141,9 +156,11 @@ class Endpoint {
   /// True if a poll would find work without doing any.
   bool poll_would_find_work() const;
 
-  /// Like poll_would_find_work but filtered through the event mask (the
-  /// condition wait()/wait_for() use).
-  bool has_masked_event() const { return poll_would_find_work_masked(); }
+  /// True if any event in `mask` is currently pending (the condition
+  /// wait_events()/wait_events_for() block on).
+  bool has_event(std::uint32_t mask) const {
+    return pending_events(mask) != 0;
+  }
 
   /// Registers an additional condition variable notified on every endpoint
   /// event — the hook bundles use to wait on any member endpoint (§3.3).
@@ -165,11 +182,12 @@ class Endpoint {
                           bool is_request);
   sim::Task<> enqueue_reply_locked(host::HostThread& t,
                                    lanai::SendDescriptor d);
-  sim::Task<> charge_send(host::HostThread& t);
-  sim::Task<> charge_recv(host::HostThread& t);
+  sim::Duration send_charge() const;
+  sim::Duration recv_charge() const;
   sim::Task<> lock(host::HostThread& t);
   void unlock();
-  bool poll_would_find_work_masked() const;
+  /// The subset of `mask` currently pending.
+  std::uint32_t pending_events(std::uint32_t mask) const;
   bool send_space_available() const;
   void on_arrival();
   void on_send_progress();
@@ -181,7 +199,6 @@ class Endpoint {
   bool shared_;
   sim::Mutex mutex_;
   sim::CondVar events_;
-  std::uint32_t event_mask_ = kEventAll;
 
   std::vector<Handler> handlers_;
   UndeliverableHandler undeliverable_;
@@ -199,6 +216,11 @@ class Endpoint {
     obs::Counter messages_handled;
     obs::Counter returns_handled;
     obs::Counter send_stalls;
+    /// wait_events()/wait_events_for() completions that found an event
+    /// pending. The watchdog's spin-poll rule compares its growth against
+    /// messages_handled + returns_handled: wakeups without progress means
+    /// a loop is waiting on a condition it never consumes.
+    obs::Counter wait_wakeups;
   };
 
   bool destroyed_ = false;

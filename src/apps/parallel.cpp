@@ -50,7 +50,8 @@ sim::Task<> Par::wait_until(std::function<bool()> pred) {
         t_->engine().now() - spin_started >= spin_limit_) {
       // Two-phase waiting: yield the processor and sleep on the endpoint
       // event until a message arrives (implicit co-scheduling, §6.3).
-      co_await ep_->wait_for(*t_, 2 * sim::ms);
+      (void)co_await ep_->wait_events_for(*t_, am::kEventArrivals,
+                                          2 * sim::ms);
       spin_started = t_->engine().now();
     } else if (spin_limit_ > 0) {
       co_await t_->compute(300);  // brief pre-block spin: stay reactive

@@ -45,7 +45,7 @@ class Par {
   am::Endpoint& endpoint() { return *ep_; }
 
   /// Pure computation for `d` (time-shared with other threads).
-  sim::Task<> compute(sim::Duration d) { return t_->compute(d); }
+  sim::Task<> compute(sim::Duration d) { co_await t_->compute(d); }
 
   /// Drains pending messages without waiting (a library "progress engine"
   /// call, as polled inside long computation loops).

@@ -106,7 +106,6 @@ sim::Task<> polling_server_body(host::HostThread& t, SharedState& st,
 /// until messages arrive).
 sim::Task<> mt_server_body(host::HostThread& t, SharedState& st,
                            am::Endpoint& ep, sim::Duration work) {
-  ep.set_event_mask(am::kEventReceive);
   while (!st.servers_stop) {
     // Process requests until none remain (§6.4); spin briefly before
     // sleeping so back-to-back arrivals do not each pay a thread wake.
@@ -118,7 +117,9 @@ sim::Task<> mt_server_body(host::HostThread& t, SharedState& st,
       co_await t.compute(2 * sim::us);
       found = ep.poll_would_find_work();
     }
-    if (!found) co_await ep.wait_for(t, 1 * sim::ms);
+    if (!found) {
+      (void)co_await ep.wait_events_for(t, am::kEventReceive, 1 * sim::ms);
+    }
   }
 }
 

@@ -106,15 +106,14 @@ struct ScenarioRun::Impl {
         // in the ledger, the server has no recovery to do.
         ep->set_undeliverable_handler(
             [](am::Endpoint&, am::ReturnedMessage) {});
-        // Receive + returns only: kEventSendSpace is level-triggered and
-        // nearly always true for an idle endpoint, so with kEventAll the
-        // wait_for() below would never block and this loop would spin-poll
-        // at sub-microsecond granularity for the whole run.
-        ep->set_event_mask(am::kEventReceive | am::kEventReturned);
         *slot = ep->name();
         ++sh.published;
         while (!sh.stop) {
-          (void)co_await ep->wait_for(t, 1 * sim::ms);
+          // Arrivals only: kEventSendSpace is level-triggered and nearly
+          // always true for an idle endpoint, so a blanket mask would make
+          // this wait never block and the loop spin-poll for the whole run.
+          (void)co_await ep->wait_events_for(t, am::kEventArrivals,
+                                             1 * sim::ms);
           co_await ep->poll(t, 64);
         }
         while (co_await ep->poll(t, 64) > 0) {
@@ -158,10 +157,6 @@ struct ScenarioRun::Impl {
                     status[i] = kReturnedFinal;
                   }
                 });
-            // See the server loop: masking out the always-pending
-            // send-space event is what lets wait_for() actually block.
-            ep->set_event_mask(am::kEventReceive | am::kEventReturned);
-
             while (sh.published < 2) co_await t.sleep(100 * sim::us);
             ep->map(0, sh.server_name);
             ep->map(1, sh.replica_name);
@@ -199,7 +194,8 @@ struct ScenarioRun::Impl {
             sim::Time deadline = t.engine().now() + spec.client_deadline;
             while (pending() > 0 && t.engine().now() < deadline) {
               co_await flush_reissues(t);
-              (void)co_await ep->wait_for(t, 500 * sim::us);
+              (void)co_await ep->wait_events_for(t, am::kEventArrivals,
+                                                 500 * sim::us);
               co_await ep->poll(t, 64);
             }
 
@@ -220,7 +216,8 @@ struct ScenarioRun::Impl {
               deadline = t.engine().now() + spec.client_deadline;
               while (pending() > 0 && t.engine().now() < deadline) {
                 co_await flush_reissues(t);
-                (void)co_await ep->wait_for(t, 500 * sim::us);
+                (void)co_await ep->wait_events_for(t, am::kEventArrivals,
+                                                   500 * sim::us);
                 co_await ep->poll(t, 64);
               }
             }
@@ -228,7 +225,8 @@ struct ScenarioRun::Impl {
             sh.unfinished += pending();
             ++sh.clients_done;
             while (!sh.stop) {
-              (void)co_await ep->wait_for(t, 1 * sim::ms);
+              (void)co_await ep->wait_events_for(t, am::kEventArrivals,
+                                                 1 * sim::ms);
               co_await ep->poll(t, 64);
             }
             while (co_await ep->poll(t, 64) > 0) {

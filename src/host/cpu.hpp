@@ -3,6 +3,7 @@
 #include <coroutine>
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <string>
 
 #include "host/config.hpp"
@@ -48,6 +49,42 @@ class Cpu {
   Cpu(const Cpu&) = delete;
   Cpu& operator=(const Cpu&) = delete;
 
+  /// Awaitable form of run() with a frameless fast path: when the
+  /// processor is free and `t` ran last, there is no context switch and no
+  /// preemption window, so the whole charge is one engine event — no
+  /// coroutine frame, no scheduler loop. Any other state falls back to the
+  /// general run() task. On the datapath nearly every compute takes the
+  /// fast path (one thread per host at steady state).
+  auto charge(ThreadCtx& t, sim::Duration d) {
+    struct Awaiter {
+      Cpu& cpu;
+      ThreadCtx& t;
+      sim::Duration d;
+      std::optional<sim::Task<>> slow;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> h) {
+        if (!cpu.busy_ && cpu.last_ == &t) {
+          // Free processor, same thread: queues are empty (threads only
+          // queue while busy_), so run() would charge d in one slice.
+          cpu.busy_ = true;
+          Cpu* c = &cpu;
+          ThreadCtx* ctx = &t;
+          const sim::Duration dd = d;
+          cpu.engine_->after(dd, [c, ctx, dd, h] {
+            ctx->cpu_used += dd;
+            c->release();
+            h.resume();
+          });
+          return std::noop_coroutine();
+        }
+        slow.emplace(cpu.run(t, d));
+        return slow->start(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, t, d, std::nullopt};
+  }
+
   /// Charges `d` of CPU time to `t`, sharing the processor with all other
   /// runnable threads at quantum granularity.
   sim::Task<> run(ThreadCtx& t, sim::Duration d) {
@@ -77,7 +114,7 @@ class Cpu {
   sim::Task<> wake(ThreadCtx& t) {
     const bool was_kernel = t.kernel;
     t.kernel = true;
-    co_await run(t, config_->thread_wake_latency);
+    co_await charge(t, config_->thread_wake_latency);
     t.kernel = was_kernel;
   }
 

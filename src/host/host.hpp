@@ -70,7 +70,7 @@ class HostThread {
   sim::Engine& engine() { return host_->engine(); }
 
   /// Consumes `d` of CPU, time-shared with other threads on this host.
-  sim::Task<> compute(sim::Duration d) { return host_->cpu().run(ctx_, d); }
+  auto compute(sim::Duration d) { return host_->cpu().charge(ctx_, d); }
 
   /// Off-CPU wait (e.g. timed back-off); other threads run meanwhile.
   sim::Task<> sleep(sim::Duration d) {

@@ -118,6 +118,14 @@ Residency SegmentDriver::residency(const lanai::EndpointState* ep) const {
   return m != nullptr ? m->res : Residency::kOnHostRO;
 }
 
+bool SegmentDriver::writable(const lanai::EndpointState* ep) const {
+  const Managed* m = find(ep);
+  // Unmanaged/destroyed endpoints are "writable" in the sense that
+  // ensure_writable() would return immediately without charging anything.
+  return m == nullptr || m->destroyed || m->res == Residency::kOnNic ||
+         m->res == Residency::kOnHostRW;
+}
+
 sim::Task<> SegmentDriver::ensure_writable(ThreadCtx& t,
                                            lanai::EndpointState* ep) {
   Managed* m = find(ep);

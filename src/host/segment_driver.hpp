@@ -81,6 +81,11 @@ class SegmentDriver {
 
   Residency residency(const lanai::EndpointState* ep) const;
 
+  /// True when a store to `ep` would not fault (resident on the NIC or
+  /// mapped r/w on the host). Senders check this to skip the
+  /// ensure_writable() task — and its coroutine frame — on the hot path.
+  bool writable(const lanai::EndpointState* ep) const;
+
   /// Called before the application writes into `ep` (message send). If the
   /// endpoint is writable this is free; otherwise it takes the write-fault
   /// path: on-host r/o -> on-host r/w plus a scheduled re-mapping. With

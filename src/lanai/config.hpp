@@ -109,6 +109,22 @@ struct NicConfig {
   /// without burning an endpoint-visit charge per loop iteration.
   sim::Duration blocked_poll_interval = 25 * sim::us;
 
+  // ----- batched datapath (doorbell moderation & burst service) -----
+  /// Doorbell coalescing window: after a doorbell ring reaches the
+  /// firmware, further rings within this interval are folded into one
+  /// deferred ring at the window's end instead of notifying per
+  /// descriptor. The firmware drains every pending descriptor per wakeup
+  /// anyway, so this bounds wakeups — not service — and adds at most one
+  /// window of latency to a doorbell that lands while the NIC idles
+  /// mid-window. 0 rings on every doorbell (the unmoderated behavior).
+  sim::Duration doorbell_coalesce = 2 * sim::us;
+  /// Inbound frames drained per firmware dispatch iteration (burst
+  /// service). Bounded so receive processing cannot starve sends.
+  int burst_rx = 8;
+  /// Send descriptors transmitted per dispatch iteration before the
+  /// firmware re-drains the receive mailbox and timers.
+  int burst_service = 4;
+
   // ----- SBUS (§6.1: asymmetric DMA rates; PIO for small accesses) -----
   /// NI writing host memory (receive path): 46.8 MB/s hardware limit.
   double sbus_write_ns_per_byte = 1000.0 / 46.8;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -38,11 +39,46 @@ struct SendDescriptor {
 
   // --- transport progress (NIC-owned) ---
   enum class FragState : std::uint8_t { kUnsent = 0, kInFlight, kAcked };
+
+  /// Per-fragment state array with inline storage for short transfers.
+  /// Fragments can be unbound from channels and rebound out of order
+  /// (§5.1), so a counter is not enough; messages up to kInline fragments
+  /// (16 KB at the default 4 KB payload) track state without touching the
+  /// heap, so steady-state sends allocate nothing.
+  class FragStates {
+   public:
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+    void assign(std::uint32_t n, FragState v) {
+      size_ = n;
+      if (n > kInline) {
+        spill_.assign(n, v);
+      } else {
+        spill_.clear();
+        inline_.fill(v);
+      }
+    }
+    FragState& operator[](std::size_t i) {
+      return size_ <= kInline ? inline_[i] : spill_[i];
+    }
+    FragState operator[](std::size_t i) const {
+      return size_ <= kInline ? inline_[i] : spill_[i];
+    }
+    const FragState* begin() const {
+      return size_ <= kInline ? inline_.data() : spill_.data();
+    }
+    const FragState* end() const { return begin() + size_; }
+
+   private:
+    static constexpr std::size_t kInline = 4;
+    std::array<FragState, kInline> inline_{};
+    std::uint32_t size_ = 0;
+    std::vector<FragState> spill_;
+  };
+
   std::uint32_t frag_count = 1;
   std::uint32_t frags_acked = 0;
-  /// Per-fragment transport state; fragments can be unbound from channels
-  /// and rebound out of order (§5.1), so a counter is not enough.
-  std::vector<FragState> frag_state;
+  FragStates frag_state;
   sim::Time first_sent_at = -1;  ///< for the unreachable timeout
   bool returned = false;         ///< undeliverable; awaiting queue sweep
 

@@ -131,6 +131,12 @@ struct Frame : myrinet::Payload {
            kShortPayloadBytes + frag_bytes +
            static_cast<std::uint32_t>(piggy_acks.size()) * 8;
   }
+
+  /// Frames are heap-allocated once per injected packet (Packet::payload);
+  /// freed storage parks on a process-wide free list (the simulator is
+  /// single-threaded) so steady-state sends allocate nothing.
+  static void* operator new(std::size_t size);
+  static void operator delete(void* p, std::size_t size) noexcept;
 };
 
 }  // namespace vnet::lanai

@@ -12,7 +12,42 @@ namespace {
 /// Key for per-source-endpoint delivery windows (see endpoint_state.hpp).
 std::uint64_t src_key(NodeId node, EpId ep) { return source_key(node, ep); }
 
+/// Recycled Frame storage (frame.hpp). Capped so a retransmission burst
+/// cannot pin memory forever; storage still parked at exit is released by
+/// the holder's destructor.
+struct FrameFreeList {
+  static constexpr std::size_t kCap = 1024;
+  std::vector<void*> slots;
+  ~FrameFreeList() {
+    for (void* p : slots) ::operator delete(p);
+  }
+};
+
+FrameFreeList& frame_free_list() {
+  static FrameFreeList list;
+  return list;
+}
+
 }  // namespace
+
+void* Frame::operator new(std::size_t size) {
+  auto& list = frame_free_list().slots;
+  if (size == sizeof(Frame) && !list.empty()) {
+    void* p = list.back();
+    list.pop_back();
+    return p;
+  }
+  return ::operator new(size);
+}
+
+void Frame::operator delete(void* p, std::size_t size) noexcept {
+  auto& list = frame_free_list().slots;
+  if (size == sizeof(Frame) && list.size() < FrameFreeList::kCap) {
+    list.push_back(p);
+    return;
+  }
+  ::operator delete(p);
+}
 
 const char* to_string(NackReason r) {
   switch (r) {
@@ -55,6 +90,7 @@ void NicCounters::register_with(obs::MetricsRegistry& reg,
   frames_unloaded = reg.counter(prefix + ".frames_unloaded");
   acks_piggybacked = reg.counter(prefix + ".acks_piggybacked");
   piggy_flushes = reg.counter(prefix + ".piggy_flushes");
+  firmware_wakeups = reg.counter(prefix + ".firmware_wakeups");
   for (int i = 0; i < 8; ++i) {
     nacks_sent_by_reason[i] =
         reg.counter(prefix + ".nacks_sent_by_reason." + std::to_string(i));
@@ -105,7 +141,31 @@ void Nic::start() {
 }
 
 void Nic::doorbell(EndpointState& ep) {
-  if (ep.resident()) work_.notify_all();
+  if (!ep.resident()) return;
+  const sim::Duration window = config_.doorbell_coalesce;
+  if (window <= 0) {
+    work_.notify_all();
+    return;
+  }
+  // Doorbell moderation: the first ring in a window passes through and
+  // opens the window; later rings within it are folded into one deferred
+  // ring at the window's end. The firmware drains every pending descriptor
+  // per wakeup, so a folded ring loses no work — the deferred event is
+  // only needed for the case where the firmware went idle again before
+  // the window closed (otherwise its notify finds no waiter and is free).
+  const sim::Time now = engine_->now();
+  if (doorbell_deferred_) return;  // a deferred ring is already scheduled
+  if (now >= doorbell_gate_) {
+    doorbell_gate_ = now + window;
+    work_.notify_all();
+    return;
+  }
+  doorbell_deferred_ = true;
+  engine_->at(doorbell_gate_, [this] {
+    doorbell_deferred_ = false;
+    doorbell_gate_ = engine_->now() + config_.doorbell_coalesce;
+    work_.notify_all();
+  });
 }
 
 void Nic::submit(DriverOp op) {
@@ -161,8 +221,8 @@ sim::Process Nic::firmware_loop() {
   for (;;) {
     bool worked = false;
     // Receive processing first: keeps acknowledgments flowing and receive
-    // queues draining. Bounded batch so sends are not starved.
-    for (int i = 0; i < 8; ++i) {
+    // queues draining. Bounded burst so sends are not starved.
+    for (int i = 0; i < config_.burst_rx; ++i) {
       auto pkt = rx_.try_receive();
       if (!pkt) break;
       worked |= co_await handle_rx(std::move(*pkt));
@@ -179,8 +239,13 @@ sim::Process Nic::firmware_loop() {
       due_retransmits_.pop_front();
       worked |= co_await handle_retransmit(ch);
     }
-    // Weighted round-robin endpoint service (§5.2).
-    worked |= co_await service_step();
+    // Weighted round-robin endpoint service (§5.2), bursting up to
+    // burst_service transmissions before receive processing and timers
+    // get another turn.
+    for (int i = 0; i < config_.burst_service; ++i) {
+      if (!co_await service_step()) break;
+      worked = true;
+    }
     // Quiescence checks for pending unload/destroy (§5.3).
     if (!pending_unloads_.empty()) worked |= co_await process_unloads();
     if (!worked) {
@@ -198,6 +263,9 @@ sim::Process Nic::firmware_loop() {
         // timeout as a liveness net.
         co_await work_.wait_for(config_.blocked_poll_interval);
       }
+      // Counts resumes out of idle/doze: a coalesced doorbell must produce
+      // exactly one wakeup (regression guard for lost/double wakeups).
+      counters_.firmware_wakeups.inc();
     }
   }
 }
@@ -283,7 +351,8 @@ sim::Task<bool> Nic::start_fragment(EndpointState& ep, SendDescriptor& desc) {
     engine_->attr().stamp(
         obs::AttrRecorder::key(static_cast<std::uint32_t>(node_), ep.id,
                                desc.msg_id),
-        obs::Stage::kNicPickup, static_cast<std::int64_t>(engine_->now()));
+        obs::Stage::kNicPickup, static_cast<std::int64_t>(engine_->now()),
+        static_cast<std::int64_t>(engine_->events_processed()));
   }
   // Resolve the destination: requests go through the translation table
   // (§3.1), replies directly to the requester.
@@ -321,26 +390,35 @@ sim::Task<bool> Nic::start_fragment(EndpointState& ep, SendDescriptor& desc) {
     if (ch == nullptr) co_return false;  // all channels busy: try later
   }
 
-  co_await charge(config_.instr_send_descriptor +
-                  (config_.defensive_checks ? config_.instr_defensive : 0));
-
+  const int instr_preamble =
+      config_.instr_send_descriptor +
+      (config_.defensive_checks ? config_.instr_defensive : 0);
+  // Fragment chosen before the instruction charges: the descriptor cannot
+  // complete during them (this fragment is not in flight yet), and a
+  // reboot mid-charge is caught by the generation check below.
   const int frag_idx = desc.next_unsent();
   assert(frag_idx >= 0);
   const auto frag = static_cast<std::uint32_t>(frag_idx);
-  if (desc.first_sent_at < 0) desc.first_sent_at = engine_->now();
   const std::uint32_t mtu = config_.max_packet_payload;
   const std::uint32_t frag_bytes =
       desc.body.bulk_bytes == 0
           ? 0
           : std::min(mtu, desc.body.bulk_bytes - frag * mtu);
 
-  // Bulk payload is staged host -> NIC SRAM across the SBUS before it can
-  // go onto the wire (§4.1: all transfers staged through NIC memory).
   if (frag_bytes > 0) {
+    // Bulk payload is staged host -> NIC SRAM across the SBUS between
+    // descriptor fetch and packet build (§4.1: all transfers staged
+    // through NIC memory).
+    co_await charge(instr_preamble);
     co_await sbus_.transfer(frag_bytes, SbusDma::Dir::kReadHost);
+    co_await charge(config_.instr_build_packet);
+  } else {
+    // Short message, nothing to stage: descriptor fetch and packet build
+    // are one uninterrupted instruction block — charge them as one
+    // scheduled event instead of two back-to-back ones.
+    co_await charge(instr_preamble + config_.instr_build_packet);
   }
-
-  co_await charge(config_.instr_build_packet);
+  if (desc.first_sent_at < 0) desc.first_sent_at = engine_->now();
   if (!gam && table_gen != channel_table_gen_) {
     co_return true;  // rebooted while staging: nothing bound yet
   }
@@ -486,7 +564,8 @@ sim::Task<bool> Nic::deliver_local(EndpointState& src, SendDescriptor& desc,
     engine_->attr().stamp(
         obs::AttrRecorder::key(static_cast<std::uint32_t>(node_), src.id,
                                desc.msg_id),
-        obs::Stage::kRxDeposit, static_cast<std::int64_t>(engine_->now()));
+        obs::Stage::kRxDeposit, static_cast<std::int64_t>(engine_->now()),
+        static_cast<std::int64_t>(engine_->events_processed()));
   }
   finish_ok();
   if (dst.on_arrival) dst.on_arrival();
@@ -520,7 +599,8 @@ sim::Task<> Nic::inject(Frame f) {
     engine_->attr().stamp(
         obs::AttrRecorder::key(static_cast<std::uint32_t>(node_), attr_ep,
                                attr_msg),
-        obs::Stage::kWireInject, static_cast<std::int64_t>(engine_->now()));
+        obs::Stage::kWireInject, static_cast<std::int64_t>(engine_->now()),
+        static_cast<std::int64_t>(engine_->events_processed()));
   }
   station_->inject(std::move(p));
 }
@@ -671,11 +751,18 @@ sim::Task<> Nic::accept_fragment(EndpointState& ep, const Frame& f,
       const std::uint64_t k = obs::AttrRecorder::key(
           static_cast<std::uint32_t>(f.src_node), f.src_ep, f.msg_id);
       if (f.delivered_at >= 0) {
-        engine_->attr().stamp(k, obs::Stage::kWireDeliver,
-                              static_cast<std::int64_t>(f.delivered_at));
+        // The frame doesn't carry an event count from its delivery event,
+        // so both boundary counters are read here at deposit: the rx
+        // service events fold into the `wire` event column and `nic_rx`
+        // reads ~0 events (its *time* column is still exact).
+        engine_->attr().stamp(
+            k, obs::Stage::kWireDeliver,
+            static_cast<std::int64_t>(f.delivered_at),
+            static_cast<std::int64_t>(engine_->events_processed()));
       }
-      engine_->attr().stamp(k, obs::Stage::kRxDeposit,
-                            static_cast<std::int64_t>(engine_->now()));
+      engine_->attr().stamp(
+          k, obs::Stage::kRxDeposit, static_cast<std::int64_t>(engine_->now()),
+          static_cast<std::int64_t>(engine_->events_processed()));
     }
     if (ep.on_arrival) ep.on_arrival();
   };

@@ -59,7 +59,8 @@ struct NicCounters {
       nacks_received, retransmissions, timeouts, channel_unbinds,
       returned_to_sender, crc_drops, gam_drops, duplicates_suppressed,
       local_deliveries, remap_requests, driver_ops, msgs_completed,
-      frames_loaded, frames_unloaded, acks_piggybacked, piggy_flushes;
+      frames_loaded, frames_unloaded, acks_piggybacked, piggy_flushes,
+      firmware_wakeups;
   obs::Counter nacks_sent_by_reason[8];
   /// Transport round-trip samples (ack echo), in nanoseconds.
   obs::Histogram rtt_ns;
@@ -290,6 +291,10 @@ class Nic {
   SbusDma sbus_;
 
   sim::CondVar work_;
+  /// Doorbell moderation state (see doorbell()): earliest time the next
+  /// immediate ring may pass, and whether a deferred ring is in flight.
+  sim::Time doorbell_gate_ = 0;
+  bool doorbell_deferred_ = false;
   sim::Mailbox<myrinet::Packet> rx_;
   sim::Mailbox<DriverOp> driver_ops_;
   std::deque<ChannelState*> due_retransmits_;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -28,14 +29,24 @@ struct LinkParams {
 /// a receiver owned by the downstream device, with credit-based flow
 /// control approximating Myrinet's link-level back-pressure.
 ///
-/// Protocol:
-///   * the owner checks can_send() and calls send(); the wire is busy for
-///     wire_bytes * ns_per_byte, then `on_tx_done` fires (so the owner can
-///     start the next packet) and the packet arrives downstream after the
-///     propagation delay;
+/// Protocol (batched datapath):
+///   * the owner checks can_send() and calls send(); the serialization
+///     start is computed analytically from the transmitter-free time, so
+///     back-to-back packets join an in-flight *train* without per-packet
+///     transmit-completion events. One pending engine event per train
+///     delivers the head at its exact arrival instant and is then
+///     rescheduled for the next head — per-packet delivery times are
+///     identical to an unbatched link, but the ser-end and propagation
+///     events it would schedule per packet are gone;
 ///   * each send consumes a credit; the downstream device returns it with
-///     release_credit() once it has moved the packet out of the input
-///     buffer. With no credits the sender stalls — back-pressure.
+///     release_credit(). Returns are *lazy*: the maturity time (one
+///     propagation back over the wire) is recorded and banked by the next
+///     can_send(), costing no event. An owner that finds can_send() false
+///     with work still queued arms notify_when_ready(); on_tx_ready fires
+///     only on demand, at the earliest credit maturity;
+///   * `head_delay` on send() lets the switch fold its cut-through latency
+///     into the downstream serialization start instead of scheduling its
+///     own per-packet event.
 class Channel {
  public:
   Channel(sim::Engine& engine, LinkParams params)
@@ -46,7 +57,8 @@ class Channel {
 
   /// Downstream delivery hook (set by the owning device at wiring time).
   std::function<void(Packet)> on_deliver;
-  /// Fired when the transmitter becomes idle and can accept another packet.
+  /// Fired when the transmitter can accept another packet — but only after
+  /// the owner armed notify_when_ready(); there is no unsolicited callback.
   std::function<void()> on_tx_ready;
   /// Optional fault hook, called once per packet as it crosses the wire.
   /// May mutate the packet (e.g. set `corrupt`); returning true drops it.
@@ -54,60 +66,74 @@ class Channel {
 
   // A down link still "accepts" packets — they are dropped in flight, like
   // bits pushed into an unplugged cable — so senders never stall on it.
-  bool can_send() const { return !busy_ && credits_ > 0; }
+  bool can_send() {
+    mature_credits();
+    return credits_ > 0;
+  }
   bool is_up() const { return up_; }
 
-  /// Starts transmitting `p`. Precondition: can_send().
-  void send(Packet p) {
-    busy_ = true;
+  /// Starts transmitting `p`. Precondition: can_send(). `head_delay` is
+  /// dead time before serialization may begin (switch cut-through).
+  void send(Packet p, sim::Duration head_delay = 0) {
     --credits_;
+    const sim::Time start =
+        std::max(engine_->now() + head_delay, tx_free_at_);
     const auto ser = static_cast<sim::Duration>(
         static_cast<double>(p.wire_bytes) * params_.ns_per_byte);
+    tx_free_at_ = start + ser;
     bytes_sent_ += p.wire_bytes;
     ++packets_sent_;
-    engine_->after(ser, [this, p = std::move(p)]() mutable {
-      busy_ = false;
-      const bool drop = !up_ || (fault_filter && fault_filter(p));
-      if (!drop) {
-        engine_->after(params_.propagation, [this, p = std::move(p)]() mutable {
-          if (on_deliver) on_deliver(std::move(p));
-        });
-      } else {
-        if (!up_) {
-          ++dropped_down_;
-        } else {
-          ++dropped_fault_;
-        }
-        // A dropped packet never reaches the receiver, so its credit can
-        // never be returned from downstream; refund it here.
-        ++credits_;
-      }
-      if (on_tx_ready) on_tx_ready();
-    });
+    // The arrival instant rides in the packet; after the last hop it is the
+    // wire-stage boundary for latency attribution (packet.hpp).
+    p.delivered_at = tx_free_at_ + params_.propagation;
+    train_.push_back(std::move(p));
+    if (!delivery_pending_) {
+      delivery_pending_ = true;
+      engine_->at(train_.front().delivered_at, [this] { deliver_train(); });
+    }
   }
 
   /// Returns one buffer credit to the sender (called by the downstream
-  /// device when the packet leaves its input stage).
+  /// device when the packet leaves its input stage). The credit still
+  /// travels back over the wire: it matures one propagation delay from now.
   void release_credit() {
-    // Credit return travels back over the wire; model the propagation.
-    engine_->after(params_.propagation, [this] {
-      ++credits_;
-      if (!busy_ && on_tx_ready) on_tx_ready();
-    });
+    credit_returns_.push_back(engine_->now() + params_.propagation);
+    if (waiting_) arm_wakeup();
+  }
+
+  /// Arms a one-shot on_tx_ready callback for when can_send() next turns
+  /// true. Call after finding can_send() false with work still queued; the
+  /// wakeup fires at the earliest credit maturity (or when a drop refunds
+  /// a credit, or the link comes back up).
+  void notify_when_ready() {
+    if (can_send()) {
+      // Raced with a refund between the owner's check and this call; keep
+      // the owner's callback out of its own stack frame.
+      engine_->after(0, [this] {
+        if (on_tx_ready) on_tx_ready();
+      });
+      return;
+    }
+    waiting_ = true;
+    arm_wakeup();
   }
 
   /// Takes the link down: in-flight and future packets are dropped until
   /// set_up(true). Models the hot-swap scenarios of §3.2.
   void set_up(bool up) {
     up_ = up;
-    if (up_ && !busy_ && on_tx_ready) on_tx_ready();
+    if (up_) wake_owner();
   }
 
-  int credits() const { return credits_; }
-  bool busy() const { return busy_; }
+  int credits() {
+    mature_credits();
+    return credits_;
+  }
   std::uint64_t packets_sent() const { return packets_sent_; }
   /// Total losses on this link, from both causes.
-  std::uint64_t packets_dropped() const { return dropped_down_ + dropped_fault_; }
+  std::uint64_t packets_dropped() const {
+    return dropped_down_ + dropped_fault_;
+  }
   /// Losses because the link was administratively/physically down.
   std::uint64_t dropped_down() const { return dropped_down_; }
   /// Losses injected by the fault filter (Bernoulli or burst model).
@@ -116,11 +142,74 @@ class Channel {
   const LinkParams& params() const { return params_; }
 
  private:
+  /// Delivers every train entry that has reached its arrival instant (ties
+  /// share one event), then re-arms for the new head. Faults and link-down
+  /// drops are evaluated here, at wire-crossing completion.
+  void deliver_train() {
+    const sim::Time now = engine_->now();
+    bool refunded = false;
+    while (!train_.empty() && train_.front().delivered_at <= now) {
+      Packet p = std::move(train_.front());
+      train_.pop_front();
+      const bool drop = !up_ || (fault_filter && fault_filter(p));
+      if (drop) {
+        if (!up_) {
+          ++dropped_down_;
+        } else {
+          ++dropped_fault_;
+        }
+        // A dropped packet never reaches the receiver, so its credit can
+        // never be returned from downstream; refund it here.
+        ++credits_;
+        refunded = true;
+      } else if (on_deliver) {
+        on_deliver(std::move(p));
+      }
+    }
+    if (!train_.empty()) {
+      engine_->at(train_.front().delivered_at, [this] { deliver_train(); });
+    } else {
+      delivery_pending_ = false;
+    }
+    if (refunded) wake_owner();
+  }
+
+  void mature_credits() {
+    const sim::Time now = engine_->now();
+    while (!credit_returns_.empty() && credit_returns_.front() <= now) {
+      credit_returns_.pop_front();
+      ++credits_;
+    }
+  }
+
+  void arm_wakeup() {
+    if (wake_armed_ || credit_returns_.empty()) return;
+    wake_armed_ = true;
+    engine_->at(credit_returns_.front(), [this] {
+      wake_armed_ = false;
+      wake_owner();
+    });
+  }
+
+  void wake_owner() {
+    if (!waiting_) return;
+    waiting_ = false;
+    if (on_tx_ready) on_tx_ready();
+  }
+
   sim::Engine* engine_;
   LinkParams params_;
   int credits_;
-  bool busy_ = false;
   bool up_ = true;
+  /// When the transmitter finishes serializing everything accepted so far.
+  sim::Time tx_free_at_ = 0;
+  /// Packets on the wire, arrival order; head owns the one pending event.
+  std::deque<Packet> train_;
+  bool delivery_pending_ = false;
+  /// Maturity instants of credits still travelling back (FIFO).
+  std::deque<sim::Time> credit_returns_;
+  bool waiting_ = false;
+  bool wake_armed_ = false;
   std::uint64_t packets_sent_ = 0;
   std::uint64_t dropped_down_ = 0;
   std::uint64_t dropped_fault_ = 0;

@@ -1,6 +1,10 @@
 #pragma once
 
+#include <algorithm>
+#include <array>
+#include <cassert>
 #include <cstdint>
+#include <initializer_list>
 #include <memory>
 #include <vector>
 
@@ -23,12 +27,39 @@ struct Payload {
 /// route bytes, type, CRC).
 inline constexpr std::uint32_t kLinkHeaderBytes = 8;
 
+/// Source-route bytes carried by a packet, stored inline: a Myrinet route
+/// is at most a handful of hops (the fat-tree needs 3), so spending a
+/// heap-backed vector on it would make every packet build allocate.
+class RouteBytes {
+ public:
+  RouteBytes() = default;
+  RouteBytes(std::initializer_list<std::uint8_t> hops) {
+    assign(hops.begin(), hops.size());
+  }
+  RouteBytes& operator=(const std::vector<std::uint8_t>& hops) {
+    assign(hops.data(), hops.size());
+    return *this;
+  }
+  std::size_t size() const { return len_; }
+  std::uint8_t operator[](std::size_t i) const { return hops_[i]; }
+
+ private:
+  void assign(const std::uint8_t* p, std::size_t n) {
+    assert(n <= hops_.size());
+    len_ = static_cast<std::uint8_t>(n);
+    std::copy_n(p, n, hops_.begin());
+  }
+
+  std::array<std::uint8_t, 8> hops_{};
+  std::uint8_t len_ = 0;
+};
+
 /// A packet in flight. Myrinet is source-routed: `route` holds the output
 /// port to take at each successive switch; `route_pos` advances per hop.
 struct Packet {
   NodeId src = kInvalidNode;
   NodeId dst = kInvalidNode;
-  std::vector<std::uint8_t> route;
+  RouteBytes route;
   std::uint32_t route_pos = 0;
   /// Total size on the wire, including link and transport headers.
   std::uint32_t wire_bytes = 0;
@@ -37,9 +68,10 @@ struct Packet {
   bool corrupt = false;
   /// Injection timestamp, for end-to-end fabric latency accounting.
   sim::Time injected_at = 0;
-  /// Stamped by the destination station as the last hop delivers the
-  /// packet (-1 until then); the wire-stage boundary for latency
-  /// attribution (obs/attr.hpp).
+  /// Stamped by each Channel at send time with the packet's computed
+  /// arrival instant on that hop; after the last hop it is the delivery
+  /// time at the destination station — the wire-stage boundary for latency
+  /// attribution (obs/attr.hpp). -1 until the packet first enters a link.
   sim::Time delivered_at = -1;
   /// Unique id for tracing.
   std::uint64_t id = 0;

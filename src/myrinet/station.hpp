@@ -66,7 +66,7 @@ class Station {
     rx_ = rx;
     rx_->on_deliver = [this](Packet p) {
       ++packets_received_;
-      p.delivered_at = engine_->now();
+      // p.delivered_at was stamped by the delivering Channel (== now).
       // One span per packet, injection -> delivery, on the receiver's row.
       VNET_TRACE_COMPLETE(engine_->tracer(), "wire", "packet",
                           static_cast<std::int64_t>(p.injected_at),
@@ -83,11 +83,14 @@ class Station {
 
  private:
   void pump() {
-    while (tx_ != nullptr && tx_->can_send() && !backlog_.empty()) {
+    while (tx_ != nullptr && !backlog_.empty() && tx_->can_send()) {
       Packet p = std::move(backlog_.front());
       backlog_.pop_front();
       tx_->send(std::move(p));
     }
+    // Out of credits with packets still queued: arm the demand wakeup
+    // (on_tx_ready fires only when armed — there is no unsolicited call).
+    if (tx_ != nullptr && !backlog_.empty()) tx_->notify_when_ready();
     if (can_inject()) drained_.notify_all();
   }
 

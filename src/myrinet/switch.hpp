@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <deque>
@@ -28,6 +29,12 @@ struct SwitchParams {
 /// input-link credit); otherwise it blocks in the input stage, withholding
 /// the credit and stalling the upstream transmitter — this is how network
 /// congestion "rapidly spreads through the network" (§2).
+///
+/// Batched datapath: the cut-through latency is not a scheduled event.
+/// Routing happens at arrival, the packet carries its head-of-packet ready
+/// time, and the residual delay is folded into the output Channel's
+/// serialization start (Channel::send head_delay) — an uncongested switch
+/// traversal costs zero engine events.
 class Switch {
  public:
   Switch(sim::Engine& engine, int num_ports, SwitchParams params)
@@ -48,7 +55,7 @@ class Switch {
   /// delivery hook is bound here so arriving packets enter this switch.
   void attach_rx(int port, Channel* rx) {
     ports_[port].rx = rx;
-    rx->on_deliver = [this, port](Packet p) { accept(port, std::move(p)); };
+    rx->on_deliver = [this, port](Packet p) { route(port, std::move(p)); };
   }
 
   std::uint64_t packets_routed() const { return packets_routed_; }
@@ -58,22 +65,23 @@ class Switch {
   int high_watermark() const { return high_watermark_; }
 
  private:
+  struct Queued {
+    sim::Time ready_at = 0;  ///< arrival + cut-through latency
+    Packet p;
+  };
+
   struct Port {
     Channel* tx = nullptr;
     Channel* rx = nullptr;
-    std::deque<Packet> queue;
+    std::deque<Queued> queue;
     // Packets routed to this output that could not be queued; they still
-    // occupy their input buffer (first = input port holding the credit).
-    std::deque<std::pair<int, Packet>> blocked;
+    // occupy their input buffer (in_port = input port holding the credit).
+    struct Blocked {
+      int in_port = 0;
+      Queued q;
+    };
+    std::deque<Blocked> blocked;
   };
-
-  void accept(int in_port, Packet p) {
-    // Charge the cut-through latency, then route.
-    engine_->after(params_.cut_through,
-                   [this, in_port, p = std::move(p)]() mutable {
-                     route(in_port, std::move(p));
-                   });
-  }
 
   void route(int in_port, Packet p) {
     if (p.route_pos >= p.route.size() ||
@@ -85,35 +93,41 @@ class Switch {
     }
     const int out = p.route[p.route_pos];
     ++p.route_pos;
+    Queued q{engine_->now() + params_.cut_through, std::move(p)};
     Port& op = ports_[out];
     if (static_cast<int>(op.queue.size()) < params_.out_queue_capacity) {
-      op.queue.push_back(std::move(p));
+      op.queue.push_back(std::move(q));
       high_watermark_ =
           std::max(high_watermark_, static_cast<int>(op.queue.size()));
       ports_[in_port].rx->release_credit();
       pump(out);
     } else {
       // Output full: hold in the input stage, keep the upstream credit.
-      op.blocked.emplace_back(in_port, std::move(p));
+      op.blocked.push_back({in_port, std::move(q)});
     }
   }
 
   void pump(int out) {
     Port& op = ports_[out];
-    while (op.tx != nullptr && op.tx->can_send() && !op.queue.empty()) {
-      Packet p = std::move(op.queue.front());
+    while (op.tx != nullptr && !op.queue.empty() && op.tx->can_send()) {
+      Queued q = std::move(op.queue.front());
       op.queue.pop_front();
       ++packets_routed_;
-      op.tx->send(std::move(p));
+      // Any cut-through time not yet elapsed becomes dead time ahead of
+      // the output serialization.
+      const sim::Duration head_delay =
+          std::max<sim::Duration>(0, q.ready_at - engine_->now());
+      op.tx->send(std::move(q.p), head_delay);
       // A queue slot freed: admit one blocked packet and release its
       // input-side credit.
       if (!op.blocked.empty()) {
-        auto [in, bp] = std::move(op.blocked.front());
+        Port::Blocked b = std::move(op.blocked.front());
         op.blocked.pop_front();
-        op.queue.push_back(std::move(bp));
-        ports_[in].rx->release_credit();
+        op.queue.push_back(std::move(b.q));
+        ports_[b.in_port].rx->release_credit();
       }
     }
+    if (op.tx != nullptr && !op.queue.empty()) op.tx->notify_when_ready();
   }
 
   sim::Engine* engine_;

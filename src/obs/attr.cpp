@@ -43,7 +43,8 @@ const char* interval_name(unsigned i) {
 }
 
 bool AttrRecorder::begin(std::uint32_t src_node, std::uint32_t src_ep,
-                         std::uint64_t msg_id, std::int64_t t_ns) {
+                         std::uint64_t msg_id, std::int64_t t_ns,
+                         std::int64_t ev) {
   if (interval_ == 0) return false;
   if (seq_++ % interval_ != 0) return false;
   if (flights_.size() >= kMaxInflight) return false;
@@ -51,35 +52,55 @@ bool AttrRecorder::begin(std::uint32_t src_node, std::uint32_t src_ep,
   f.node = src_node;
   f.ep = src_ep;
   f.at.fill(-1);
+  f.ev.fill(-1);
   f.at[static_cast<unsigned>(Stage::kEnqueue)] = t_ns;
+  f.ev[static_cast<unsigned>(Stage::kEnqueue)] = ev;
   flights_[key(src_node, src_ep, msg_id)] = f;
   ++tracked_;
   return true;
 }
 
-void AttrRecorder::stamp(std::uint64_t k, Stage s, std::int64_t t_ns) {
+void AttrRecorder::stamp(std::uint64_t k, Stage s, std::int64_t t_ns,
+                         std::int64_t ev) {
   auto it = flights_.find(k);
   if (it == flights_.end()) return;
   std::int64_t& slot = it->second.at[static_cast<unsigned>(s)];
-  if (slot < 0) slot = t_ns;
+  if (slot < 0) {
+    slot = t_ns;
+    it->second.ev[static_cast<unsigned>(s)] = ev;
+  }
 }
 
-void AttrRecorder::finish(std::uint64_t k, std::int64_t t_ns) {
+void AttrRecorder::finish(std::uint64_t k, std::int64_t t_ns,
+                          std::int64_t ev) {
   auto it = flights_.find(k);
   if (it == flights_.end()) return;
   Flight& f = it->second;
   std::int64_t& done = f.at[static_cast<unsigned>(Stage::kHandlerDone)];
-  if (done < 0) done = t_ns;
+  if (done < 0) {
+    done = t_ns;
+    f.ev[static_cast<unsigned>(Stage::kHandlerDone)] = ev;
+  }
   EpHists& h = hists_for(f.node, f.ep);
   for (unsigned i = 0; i < kIntervalCount; ++i) {
     // Locally delivered messages never cross the wire; their flights have
     // gaps, and only intervals with both endpoints present are attributed.
     if (f.at[i] >= 0 && f.at[i + 1] >= 0) {
       h.stage[i].record(static_cast<double>(f.at[i + 1] - f.at[i]));
+      if (f.ev[i] >= 0 && f.ev[i + 1] >= 0) {
+        h.stage_ev[i].record(static_cast<double>(f.ev[i + 1] - f.ev[i]));
+      }
     }
   }
   const std::int64_t t0 = f.at[static_cast<unsigned>(Stage::kEnqueue)];
-  if (t0 >= 0) h.e2e.record(static_cast<double>(done - t0));
+  if (t0 >= 0) {
+    h.e2e.record(static_cast<double>(done - t0));
+    const std::int64_t ev0 = f.ev[static_cast<unsigned>(Stage::kEnqueue)];
+    const std::int64_t evN = f.ev[static_cast<unsigned>(Stage::kHandlerDone)];
+    if (ev0 >= 0 && evN >= 0) {
+      h.e2e_ev.record(static_cast<double>(evN - ev0));
+    }
+  }
   flights_.erase(it);
   ++completed_;
 }
@@ -91,11 +112,15 @@ AttrRecorder::EpHists& AttrRecorder::hists_for(std::uint32_t node,
   if (it != ep_hists_.end()) return it->second;
   const std::string prefix = "host." + std::to_string(node) + ".ep." +
                              std::to_string(ep) + ".attr.";
+  const std::string ev_prefix = "host." + std::to_string(node) + ".ep." +
+                                std::to_string(ep) + ".attr_ev.";
   EpHists h;
   for (unsigned i = 0; i < kIntervalCount; ++i) {
     h.stage[i] = reg_->histogram(prefix + kIntervalNames[i]);
+    h.stage_ev[i] = reg_->histogram(ev_prefix + kIntervalNames[i]);
   }
   h.e2e = reg_->histogram(prefix + "e2e");
+  h.e2e_ev = reg_->histogram(ev_prefix + "e2e");
   return ep_hists_.emplace(k, h).first->second;
 }
 
@@ -108,16 +133,23 @@ double AttrSummary::stage_sum_mean_ns() const {
 AttrSummary summarize_attr(const Snapshot& snap) {
   AttrSummary out;
   for (const auto& [name, data] : snap.histograms) {
-    const std::size_t pos = name.find(".attr.");
-    if (pos == std::string::npos) continue;
-    const std::string leaf = name.substr(pos + 6);
+    // ".attr." and ".attr_ev." are disjoint substrings; classify by which
+    // one (if either) the metric path contains.
+    std::size_t pos = name.find(".attr.");
+    bool ev = false;
+    if (pos == std::string::npos) {
+      pos = name.find(".attr_ev.");
+      if (pos == std::string::npos) continue;
+      ev = true;
+    }
+    const std::string leaf = name.substr(pos + (ev ? 9 : 6));
     if (leaf == "e2e") {
-      merge_into(out.e2e, data);
+      merge_into(ev ? out.e2e_ev : out.e2e, data);
       continue;
     }
     for (unsigned i = 0; i < kIntervalCount; ++i) {
       if (leaf == kIntervalNames[i]) {
-        merge_into(out.stages[i], data);
+        merge_into(ev ? out.stage_ev[i] : out.stages[i], data);
         break;
       }
     }
@@ -128,22 +160,34 @@ AttrSummary summarize_attr(const Snapshot& snap) {
 std::string render_attr_report(const Snapshot& snap) {
   const AttrSummary s = summarize_attr(snap);
   if (s.e2e.count == 0) return {};
+  const bool have_ev = s.e2e_ev.count > 0;
   std::string out;
-  char line[160];
-  std::snprintf(line, sizeof(line), "%-12s %8s %9s %9s %9s %9s\n", "stage",
+  char line[192];
+  std::snprintf(line, sizeof(line), "%-12s %8s %9s %9s %9s %9s", "stage",
                 "count", "mean_us", "p50_us", "p95_us", "max_us");
   out += line;
-  auto row = [&](const char* name, const HistogramData& h) {
-    std::snprintf(line, sizeof(line), "%-12s %8llu %9.3f %9.3f %9.3f %9.3f\n",
+  if (have_ev) {
+    std::snprintf(line, sizeof(line), " %9s", "events");
+    out += line;
+  }
+  out += '\n';
+  auto row = [&](const char* name, const HistogramData& h,
+                 const HistogramData& hev) {
+    std::snprintf(line, sizeof(line), "%-12s %8llu %9.3f %9.3f %9.3f %9.3f",
                   name, static_cast<unsigned long long>(h.count),
                   h.mean() / 1e3, h.quantile(0.5) / 1e3,
                   h.quantile(0.95) / 1e3, h.max_seen / 1e3);
     out += line;
+    if (have_ev) {
+      std::snprintf(line, sizeof(line), " %9.1f", hev.mean());
+      out += line;
+    }
+    out += '\n';
   };
   for (unsigned i = 0; i < kIntervalCount; ++i) {
-    row(kIntervalNames[i], s.stages[i]);
+    row(kIntervalNames[i], s.stages[i], s.stage_ev[i]);
   }
-  row("e2e", s.e2e);
+  row("e2e", s.e2e, s.e2e_ev);
   const double sum = s.stage_sum_mean_ns();
   const double e2e = s.e2e.mean();
   const double delta = e2e > 0 ? (sum - e2e) / e2e * 100.0 : 0.0;
@@ -152,6 +196,12 @@ std::string render_attr_report(const Snapshot& snap) {
                 "(delta %+.2f%%)\n",
                 sum / 1e3, e2e / 1e3, delta);
   out += line;
+  if (have_ev) {
+    std::snprintf(line, sizeof(line),
+                  "engine events per tracked message: mean %.1f (max %.0f)\n",
+                  s.e2e_ev.mean(), s.e2e_ev.max_seen);
+    out += line;
+  }
   return out;
 }
 

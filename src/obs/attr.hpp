@@ -19,6 +19,15 @@ namespace vnet::obs {
 /// service, wire L, o_r) from live traffic instead of dedicated
 /// microbenchmarks.
 ///
+/// Each boundary can also carry the simulator's global event counter
+/// (sim::Engine::events_processed()); per-stage *event-count* deltas are
+/// then folded into `host.<node>.ep.<ep>.attr_ev.<stage>` histograms. The
+/// event column answers "where do the engine events per message go" the
+/// same way the time column answers "where do the nanoseconds go", which is
+/// what the batched-datapath work optimizes against. Event counts are
+/// global (concurrent traffic inflates them), so they are meaningful in
+/// single-message-in-flight runs like the Fig 3 ping-pong.
+///
 /// obs depends on nothing above it: timestamps are plain nanosecond
 /// integers supplied by the stamping layer, and the recorder is reached
 /// through sim::Engine (which owns one next to the MetricsRegistry).
@@ -72,18 +81,20 @@ class AttrRecorder {
   /// descriptor write it is timing). Applies the sampling knob; returns
   /// true if the message is now tracked.
   bool begin(std::uint32_t src_node, std::uint32_t src_ep,
-             std::uint64_t msg_id, std::int64_t t_ns);
+             std::uint64_t msg_id, std::int64_t t_ns, std::int64_t ev = -1);
 
   /// Records boundary `s` of a tracked flight. Unknown keys are ignored
   /// (the message was not sampled); repeated stamps keep the first value,
   /// which is what makes retransmissions and multi-fragment messages
-  /// attribute to first pickup / first injection.
-  void stamp(std::uint64_t k, Stage s, std::int64_t t_ns);
+  /// attribute to first pickup / first injection. `ev` is the global
+  /// engine event count at the boundary (-1 = not recorded).
+  void stamp(std::uint64_t k, Stage s, std::int64_t t_ns,
+             std::int64_t ev = -1);
 
   /// Final boundary: stamps kHandlerDone, folds every present interval
   /// (plus end-to-end) into the source endpoint's histograms, and forgets
   /// the flight.
-  void finish(std::uint64_t k, std::int64_t t_ns);
+  void finish(std::uint64_t k, std::int64_t t_ns, std::int64_t ev = -1);
 
   /// Forgets a flight without recording (message returned to sender or
   /// dropped by an unreliable transport).
@@ -98,10 +109,13 @@ class AttrRecorder {
     std::uint32_t node = 0;
     std::uint32_t ep = 0;
     std::array<std::int64_t, kStageCount> at;
+    std::array<std::int64_t, kStageCount> ev;  ///< events_processed, or -1
   };
   struct EpHists {
     std::array<Histogram, kIntervalCount> stage;
     Histogram e2e;
+    std::array<Histogram, kIntervalCount> stage_ev;
+    Histogram e2e_ev;
   };
 
   EpHists& hists_for(std::uint32_t node, std::uint32_t ep);
@@ -120,10 +134,14 @@ class AttrRecorder {
 };
 
 /// Cluster-wide attribution summary extracted from a Snapshot: each stage's
-/// histogram merged across every endpoint, in pipeline order.
+/// histogram merged across every endpoint, in pipeline order. `stage_ev`
+/// carries the per-stage engine event-count deltas when the stamp sites
+/// supplied them (count == 0 otherwise).
 struct AttrSummary {
   std::array<HistogramData, kIntervalCount> stages;
   HistogramData e2e;
+  std::array<HistogramData, kIntervalCount> stage_ev;
+  HistogramData e2e_ev;
 
   /// Sum of per-stage means — should reconcile with e2e.mean() when the
   /// traffic was remote and every tracked message ran to completion.
@@ -134,8 +152,9 @@ AttrSummary summarize_attr(const Snapshot& snap);
 
 /// The LogP report: per-stage count/mean/p50/p95/max table (in
 /// microseconds) followed by the stage-sum vs measured end-to-end
-/// reconciliation line. Returns "" if the snapshot holds no attribution
-/// data.
+/// reconciliation line. When event-count data is present each row also
+/// shows the mean engine events spent in that stage. Returns "" if the
+/// snapshot holds no attribution data.
 std::string render_attr_report(const Snapshot& snap);
 
 }  // namespace vnet::obs

@@ -8,6 +8,7 @@ namespace vnet::obs {
 
 namespace {
 
+constexpr std::string_view kWakeupsSuffix = ".wait_wakeups";
 constexpr std::string_view kBusySuffix = ".busy_channels";
 constexpr std::string_view kBacklogSuffix = ".send_backlog";
 constexpr std::string_view kLinkPrefix = "fabric.link.";
@@ -68,6 +69,26 @@ void Watchdog::check(std::int64_t now_ns) {
                     "%.0f pending descriptor(s), no transmission in window",
                     level);
       fire(now_ns, "frame-loiter", nic, detail);
+    }
+  }
+
+  // spin-poll: an endpoint's waits kept completing with zero consumption.
+  if (cfg_.spin_wakeup_threshold > 0) {
+    for (const auto& [name, wakeups] : w.counters) {
+      if (!ends_with(name, kWakeupsSuffix) ||
+          wakeups <= cfg_.spin_wakeup_threshold) {
+        continue;
+      }
+      const std::string ep =
+          name.substr(0, name.size() - kWakeupsSuffix.size());
+      const std::uint64_t consumed = w.counter(ep + ".messages_handled") +
+                                     w.counter(ep + ".returns_handled");
+      if (consumed == 0) {
+        std::snprintf(detail, sizeof(detail),
+                      "%llu wait wakeups, nothing consumed in window",
+                      static_cast<unsigned long long>(wakeups));
+        fire(now_ns, "spin-poll", ep, detail);
+      }
     }
   }
 

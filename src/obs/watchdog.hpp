@@ -21,7 +21,11 @@ namespace vnet::obs {
 ///   frame-loiter  — a NIC has unfinished send descriptors but transmitted
 ///                   nothing at all, not even a retransmission;
 ///   link-pegged   — back-pressure pinned one link at (near) 100% occupancy
-///                   for the entire window.
+///                   for the entire window;
+///   spin-poll     — an endpoint's wait loop kept waking (wait_wakeups grew
+///                   past the threshold) while handling zero messages or
+///                   returns: some thread waits on a level-triggered
+///                   condition it never consumes (the PR 6 bug class).
 ///
 /// Events accumulate for render_summary() (one row per rule/subject, wired
 /// into the chaos scenario reports) and optionally invoke an on_fire hook,
@@ -34,6 +38,11 @@ struct WatchdogConfig {
   /// rule (occupancy cannot be computed without it).
   double link_ns_per_byte = 0.0;
   double link_occupancy_threshold = 0.99;
+  /// spin-poll rule: fire when an endpoint's wait_wakeups grows by more
+  /// than this in one window while its messages_handled + returns_handled
+  /// did not move. A healthy server wakes at most once per message; 64
+  /// progress-free wakeups in a window is a busy loop. 0 disables.
+  std::uint64_t spin_wakeup_threshold = 64;
 };
 
 struct WatchdogEvent {

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#ifdef VNET_EVENT_PROFILE
+#include <unordered_map>
+#endif
 #include <utility>
 #include <vector>
 
@@ -11,6 +14,15 @@
 #include "sim/unique_function.hpp"
 
 namespace vnet::sim {
+
+#ifdef VNET_EVENT_PROFILE
+// Build-time probe only (not compiled into the tree's targets): call-site
+// histogram of event pushes, keyed by return address; resolve with addr2line.
+inline std::unordered_map<void*, std::uint64_t>& event_profile() {
+  static std::unordered_map<void*, std::uint64_t> m;
+  return m;
+}
+#endif
 
 /// Identifies one scheduled event for cancellation: a slot in the queue's
 /// entry slab plus a generation counter that detects slot reuse. Default
@@ -75,7 +87,13 @@ class EventQueue {
   }
 
   /// Schedules an already-built callable (no arena routing).
+#ifdef VNET_EVENT_PROFILE
+  __attribute__((noinline))
+#endif
   EventHandle push(Time t, UniqueFunction fn) {
+#ifdef VNET_EVENT_PROFILE
+    ++event_profile()[__builtin_return_address(0)];
+#endif
     const std::uint32_t slot = alloc_slot();
     Slot& s = slots_[slot];
     s.time = t;

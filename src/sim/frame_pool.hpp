@@ -1,0 +1,71 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace vnet::sim::detail {
+
+/// Size-bucketed free list for coroutine frames (Task and Process).
+///
+/// Every co_await-composed API call on the datapath — send_common, poll,
+/// charge_send, Cpu::run, Nic::inject — materializes a coroutine frame, and
+/// the default promise allocator takes those from the global heap one at a
+/// time. Frame sizes are compiler-chosen but perfectly repetitive: the same
+/// handful of sizes recur once or more per simulated message. Parking freed
+/// frames on per-size free lists (the simulator is single-threaded) makes
+/// steady-state Task creation allocation-free, the coroutine counterpart of
+/// ClosureArena for event closures.
+class FramePool {
+ public:
+  static constexpr std::size_t kGrain = 64;
+  static constexpr std::size_t kBuckets = 64;  ///< frames up to 4 KB pooled
+  static constexpr std::size_t kPerBucketCap = 256;
+
+  ~FramePool() {
+    for (auto& list : free_) {
+      for (void* p : list) ::operator delete(p);
+    }
+  }
+
+  void* allocate(std::size_t size) {
+    const std::size_t b = bucket(size);
+    if (b >= kBuckets) return ::operator new(size);
+    auto& list = free_[b];
+    if (!list.empty()) {
+      void* p = list.back();
+      list.pop_back();
+      return p;
+    }
+    return ::operator new((b + 1) * kGrain);
+  }
+
+  void deallocate(void* p, std::size_t size) noexcept {
+    const std::size_t b = bucket(size);
+    if (b >= kBuckets) {
+      ::operator delete(p);
+      return;
+    }
+    auto& list = free_[b];
+    if (list.size() < kPerBucketCap) {
+      list.push_back(p);
+    } else {
+      ::operator delete(p);
+    }
+  }
+
+ private:
+  static std::size_t bucket(std::size_t size) {
+    return size == 0 ? 0 : (size - 1) / kGrain;
+  }
+
+  std::array<std::vector<void*>, kBuckets> free_;
+};
+
+inline FramePool& frame_pool() {
+  static FramePool pool;
+  return pool;
+}
+
+}  // namespace vnet::sim::detail

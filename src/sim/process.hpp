@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "sim/engine.hpp"
+#include "sim/frame_pool.hpp"
 
 namespace vnet::sim {
 
@@ -31,6 +32,15 @@ class Process {
  public:
   struct promise_type {
     Engine* engine = nullptr;
+
+    // Short-lived processes (per-packet injections, driver ops) recycle
+    // their frames through the same pool as Task.
+    static void* operator new(std::size_t size) {
+      return detail::frame_pool().allocate(size);
+    }
+    static void operator delete(void* p, std::size_t size) noexcept {
+      detail::frame_pool().deallocate(p, size);
+    }
 
     Process get_return_object() {
       return Process(std::coroutine_handle<promise_type>::from_promise(*this));

@@ -1,15 +1,69 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <deque>
 #include <memory>
+#include <new>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
 
 namespace vnet::sim {
+
+namespace detail {
+
+/// Allocator recycling CondVar wait-state blocks. Every datapath wait
+/// (host block/block_for, firmware doze) materializes one shared state;
+/// with make_shared that is a fresh heap allocation per wait. The
+/// simulator is single-threaded, so a process-wide free list (one size
+/// class: the allocator is only ever rebound to the combined
+/// control-block + WaitState type) keeps steady-state waiting
+/// allocation-free.
+template <typename T>
+struct WaitStateAlloc {
+  using value_type = T;
+  WaitStateAlloc() = default;
+  template <typename U>
+  WaitStateAlloc(const WaitStateAlloc<U>&) noexcept {}  // NOLINT
+  template <typename U>
+  bool operator==(const WaitStateAlloc<U>&) const noexcept {
+    return true;
+  }
+
+  T* allocate(std::size_t n) {
+    auto& fl = freelist();
+    if (n == 1 && !fl.empty()) {
+      void* p = fl.back();
+      fl.pop_back();
+      return static_cast<T*>(p);
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    auto& fl = freelist();
+    if (n == 1 && fl.size() < 1024) {
+      fl.push_back(p);
+      return;
+    }
+    ::operator delete(p);
+  }
+
+ private:
+  // One free list per rebound T, so every pooled block has T's exact size.
+  // Never destroyed: if the vector died during static teardown, the blocks
+  // parked in it would become unreachable and LeakSanitizer would report
+  // the pool itself as leaked memory.
+  static std::vector<void*>& freelist() {
+    static auto* fl = new std::vector<void*>();
+    return *fl;
+  }
+};
+
+}  // namespace detail
 
 /// Condition variable for simulation processes.
 ///
@@ -34,7 +88,8 @@ class CondVar {
       std::shared_ptr<WaitState> state;
       bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) {
-        state = std::make_shared<WaitState>();
+        state = std::allocate_shared<WaitState>(
+            detail::WaitStateAlloc<WaitState>{});
         state->handle = h;
         cv.waiters_.push_back(state);
       }
@@ -54,7 +109,8 @@ class CondVar {
       std::shared_ptr<WaitState> state;
       bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) {
-        state = std::make_shared<WaitState>();
+        state = std::allocate_shared<WaitState>(
+            detail::WaitStateAlloc<WaitState>{});
         state->handle = h;
         cv.waiters_.push_back(state);
         Engine& eng = *cv.engine_;
@@ -86,6 +142,7 @@ class CondVar {
 
   /// Wakes all live waiters in FIFO order.
   void notify_all() {
+    if (waiters_.empty()) return;  // hot path: most notifies find no waiter
     auto pending = std::move(waiters_);
     waiters_.clear();
     for (auto& s : pending) {

@@ -8,6 +8,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "sim/frame_pool.hpp"
+
 namespace vnet::sim {
 
 template <typename T>
@@ -17,6 +19,15 @@ namespace detail {
 
 struct TaskPromiseBase {
   std::coroutine_handle<> continuation;
+
+  // Task frames recycle through the coroutine frame pool: one Task per
+  // datapath API call adds up to millions of frames per simulated second.
+  static void* operator new(std::size_t size) {
+    return frame_pool().allocate(size);
+  }
+  static void operator delete(void* p, std::size_t size) noexcept {
+    frame_pool().deallocate(p, size);
+  }
 
   std::suspend_always initial_suspend() noexcept { return {}; }
 
@@ -110,6 +121,15 @@ class [[nodiscard]] Task {
       T await_resume() { return child.promise().take(); }
     };
     return Awaiter{handle_};
+  }
+
+  /// Starts the task with `continuation` resumed on completion, returning
+  /// the task's handle for symmetric transfer. For awaitables that wrap a
+  /// Task slow path inside their own await_suspend; the Task object must
+  /// stay alive until it completes (it owns the frame).
+  std::coroutine_handle<> start(std::coroutine_handle<> continuation) noexcept {
+    handle_.promise().continuation = continuation;
+    return handle_;
   }
 
  private:

@@ -73,7 +73,8 @@ sim::Task<std::unique_ptr<Socket>> Socket::connect(host::HostThread& t,
                               static_cast<std::uint64_t>(self.node),
                               self.ep, self.tag);
   while (!sock->connected_) {
-    co_await sock->ep_->wait_for(t, 500 * sim::us);
+    (void)co_await sock->ep_->wait_events_for(t, am::kEventArrivals,
+                                              500 * sim::us);
     co_await sock->ep_->poll(t, 8);
   }
   co_return sock;
@@ -99,7 +100,7 @@ sim::Task<std::uint64_t> Socket::recv(host::HostThread& t,
                                       std::uint64_t min_bytes) {
   co_await ep_->poll(t, 16);  // segments only land under a poll
   while (available() < min_bytes && !peer_closed()) {
-    co_await ep_->wait_for(t, 500 * sim::us);
+    (void)co_await ep_->wait_events_for(t, am::kEventArrivals, 500 * sim::us);
     co_await ep_->poll(t, 16);
   }
   const std::uint64_t got = available();  // consume the contiguous prefix
@@ -133,7 +134,7 @@ sim::Task<std::unique_ptr<Listener>> Listener::create(host::HostThread& t,
 
 sim::Task<std::unique_ptr<Socket>> Listener::accept(host::HostThread& t) {
   while (pending_.empty()) {
-    co_await ep_->wait_for(t, 500 * sim::us);
+    (void)co_await ep_->wait_events_for(t, am::kEventArrivals, 500 * sim::us);
     co_await ep_->poll(t, 8);
   }
   const PendingSyn syn = pending_.front();

@@ -49,7 +49,7 @@ TEST(AmApi, PingPongRequestReply) {
     });
     rv.names[1] = ep->name();
     while (got_request == 0) {
-      co_await ep->wait(t);
+      co_await ep->wait_events(t, kEventArrivals);
       co_await ep->poll(t);
     }
     // Keep polling briefly so the reply's transport completes cleanly.
@@ -88,7 +88,7 @@ TEST(AmApi, CreditWindowBoundsOutstandingRequests) {
     ep->set_handler(1, [&](Endpoint&, const Message&) { ++served; });
     rv.names[1] = ep->name();
     while (served < static_cast<std::uint64_t>(total)) {
-      co_await ep->wait(t);
+      co_await ep->wait_events(t, kEventArrivals);
       co_await ep->poll(t, 32);
     }
     co_await t.sleep(2 * sim::ms);  // drain trailing credit replies
@@ -192,10 +192,9 @@ TEST(AmApi, EventDrivenServerSleepsUntilArrival) {
 
   cl.spawn_thread(1, "sleeper", [&](host::HostThread& t) -> sim::Task<> {
     auto ep = co_await Endpoint::create(t, 1);
-    ep->set_event_mask(kEventReceive);
     ep->set_handler(1, [&](Endpoint&, const Message& m) { got = m.arg(0); });
     rv.names[1] = ep->name();
-    co_await ep->wait(t);  // sleeps: no polling, no CPU burn
+    co_await ep->wait_events(t, kEventReceive);  // sleeps, no CPU burn
     woke_at = t.engine().now();
     co_await ep->poll(t);
     co_await t.sleep(1 * sim::ms);
@@ -222,8 +221,8 @@ TEST(AmApi, WaitForTimesOutWithoutTraffic) {
   bool notified = true;
   cl.spawn_thread(0, "t", [&](host::HostThread& t) -> sim::Task<> {
     auto ep = co_await Endpoint::create(t, 1);
-    ep->set_event_mask(kEventReceive);  // send-space would be trivially true
-    notified = co_await ep->wait_for(t, 2 * sim::ms);
+    // An explicit receive-only mask: send-space would be trivially true.
+    notified = co_await ep->wait_events_for(t, kEventReceive, 2 * sim::ms);
     co_await ep->destroy(t);
   });
   cl.run_to_completion();
@@ -250,7 +249,7 @@ TEST(AmApi, ManyEndpointsOvercommitFramesAndStillDeliver) {
     });
     rv.names[0] = ep->name();
     while (served < static_cast<std::uint64_t>(kClients * per_client)) {
-      co_await ep->wait(t);
+      co_await ep->wait_events(t, kEventArrivals);
       co_await ep->poll(t, 32);
     }
     co_await t.sleep(5 * sim::ms);
@@ -302,7 +301,8 @@ TEST(AmApi, SharedEndpointServesTwoThreads) {
                         co_await t.sleep(10 * sim::us);
                       }
                       while (served < static_cast<std::uint64_t>(total)) {
-                        co_await server_ep->wait_for(t, 500 * sim::us);
+                        (void)co_await server_ep->wait_events_for(
+                            t, kEventArrivals, 500 * sim::us);
                         co_await server_ep->poll(t, 8);
                       }
                     });
@@ -336,7 +336,7 @@ TEST(AmApi, BulkTransferDeliversPayload) {
     });
     rv.names[1] = ep->name();
     while (got_bytes == 0) {
-      co_await ep->wait(t);
+      co_await ep->wait_events(t, kEventArrivals);
       co_await ep->poll(t);
     }
     co_await t.sleep(2 * sim::ms);
@@ -368,7 +368,7 @@ TEST(AmApi, GamClusterStillServesTheApi) {
     ep->set_handler(1, [&](Endpoint&, const Message& m) { got = m.arg(0); });
     rv.names[1] = ep->name();
     while (got == 0) {
-      co_await ep->wait_for(t, 200 * sim::us);
+      (void)co_await ep->wait_events_for(t, kEventArrivals, 200 * sim::us);
       co_await ep->poll(t);
     }
     co_await t.sleep(1 * sim::ms);

@@ -21,13 +21,12 @@ TEST(Bundle, WaitAnyReturnsTheEndpointWithTraffic) {
     Bundle bundle(t.host());
     for (int i = 0; i < 3; ++i) {
       Endpoint* ep = co_await bundle.create_endpoint(t, 0x80 + i);
-      ep->set_event_mask(kEventReceive);
       ep->set_handler(1, [&, i](Endpoint&, const Message&) {
         served_on = i;
       });
       names[static_cast<std::size_t>(i)] = ep->name();
     }
-    Endpoint* hot = co_await bundle.wait_any(t);
+    Endpoint* hot = co_await bundle.wait_any(t, kEventReceive);
     EXPECT_EQ(hot, bundle.at(1));  // traffic goes to endpoint #1
     co_await bundle.poll_all(t);
     co_await t.sleep(2 * sim::ms);
@@ -52,10 +51,9 @@ TEST(Bundle, WaitAnyForTimesOutQuietly) {
   cl.spawn_thread(0, "t", [&](host::HostThread& t) -> sim::Task<> {
     Bundle bundle(t.host());
     for (int i = 0; i < 2; ++i) {
-      Endpoint* ep = co_await bundle.create_endpoint(t, i);
-      ep->set_event_mask(kEventReceive);
+      (void)co_await bundle.create_endpoint(t, i);
     }
-    Endpoint* hot = co_await bundle.wait_any_for(t, 3 * sim::ms);
+    Endpoint* hot = co_await bundle.wait_any_for(t, kEventReceive, 3 * sim::ms);
     timed_out = (hot == nullptr);
     co_await bundle.destroy_all(t);
   });
@@ -73,7 +71,6 @@ TEST(Bundle, PollAllSweepsEveryEndpoint) {
     Bundle bundle(t.host());
     for (int i = 0; i < 4; ++i) {
       Endpoint* ep = co_await bundle.create_endpoint(t, 0x90 + i);
-      ep->set_event_mask(kEventReceive);
       ep->set_handler(1, [&, i](Endpoint&, const Message&) {
         hits.insert(i);
       });
@@ -81,7 +78,7 @@ TEST(Bundle, PollAllSweepsEveryEndpoint) {
     }
     server_ready = true;
     while (hits.size() < 8) {
-      (void)co_await bundle.wait_any_for(t, 1 * sim::ms);
+      (void)co_await bundle.wait_any_for(t, kEventReceive, 1 * sim::ms);
       co_await bundle.poll_all(t);
     }
     co_await t.sleep(2 * sim::ms);

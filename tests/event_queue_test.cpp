@@ -228,8 +228,11 @@ TEST(EventQueue, EngineAfterReturnsCancellableHandle) {
 
 // Same-seed golden run: the queue rewrite (calendar buckets, arena, O(1)
 // cancel) must not move a single timestamp in the Fig 3 LogP
-// characterization. These constants were recorded on the pre-rewrite
-// binary-heap queue; any drift means the (time, seq) pop order changed.
+// characterization; any drift means the (time, seq) pop order changed.
+// g was re-pinned once for the batched datapath: merging the preamble and
+// build-packet charges into one delay event removes an event boundary on
+// the non-bulk send path, shaving ~0.1 us off the streaming gap. os, or,
+// L and rtt were byte-identical across that change.
 TEST(EventQueue, Fig3LogpGoldenRunUnchanged) {
   const apps::LogpResult r =
       apps::measure_logp(cluster::NowConfig(2), /*pingpongs=*/40,
@@ -237,7 +240,7 @@ TEST(EventQueue, Fig3LogpGoldenRunUnchanged) {
   EXPECT_NEAR(r.os_us, 2.900000000, 1e-8);
   EXPECT_NEAR(r.or_us, 2.600000000, 1e-8);
   EXPECT_NEAR(r.l_us, 8.950000000, 1e-8);
-  EXPECT_NEAR(r.g_us, 12.423115578, 1e-8);
+  EXPECT_NEAR(r.g_us, 12.319095477386934, 1e-8);
   EXPECT_NEAR(r.rtt_us, 28.900000000, 1e-8);
 }
 

@@ -7,9 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <utility>
+#include <vector>
 
 #include "chaos/forkserver.hpp"
 #include "chaos/scenario.hpp"
+#include "lanai/config.hpp"
 
 namespace vnet::chaos {
 namespace {
@@ -132,6 +135,33 @@ TEST(ForkServer, ChildCrashIsContainedAndServerStaysUsable) {
   const ForkOutcome ok = server.run_child(server.default_plan());
   ASSERT_FALSE(ok.crashed) << ok.detail << "\n" << ok.stderr_tail;
   EXPECT_TRUE(verdict_ok(ok.result));
+}
+
+// The fork matrix must stay green with doorbell moderation on — it is on
+// by default, and this cell also widens the window 5x to stress the
+// deferred-ring path under faults. A lost coalesced ring would surface as
+// unresolved messages or a stalled client in the verdict.
+TEST(ForkServer, MatrixHoldsWithDoorbellCoalescingOn) {
+  if (!fork_available()) GTEST_SKIP() << "no fork() on this platform";
+  ASSERT_GT(lanai::NicConfig{}.doorbell_coalesce, 0)
+      << "doorbell coalescing is expected to be on by default";
+  std::vector<ScenarioSpec> specs;
+  for (const char* name : {"chaos", "link_flap", "nic_reboot"}) {
+    ScenarioSpec spec = standard_scenario(name, 3);
+    auto inner = spec.tweak;
+    spec.tweak = [inner = std::move(inner)](cluster::ClusterConfig& cfg) {
+      if (inner) inner(cfg);
+      cfg.nic.doorbell_coalesce = 10 * sim::us;
+    };
+    specs.push_back(std::move(spec));
+  }
+  const std::vector<ForkOutcome> outcomes = run_matrix(specs, 2);
+  ASSERT_EQ(outcomes.size(), specs.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_FALSE(outcomes[i].crashed)
+        << specs[i].name << ": " << outcomes[i].detail;
+    EXPECT_TRUE(verdict_ok(outcomes[i].result)) << specs[i].name;
+  }
 }
 
 TEST(ForkServer, MatrixFinishesInOrderAroundManyCells) {

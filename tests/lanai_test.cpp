@@ -743,5 +743,151 @@ TEST_F(NicTest, RunsAreDeterministic) {
   EXPECT_NE(run_once(5), run_once(6));
 }
 
+// ----------------- batched datapath (doorbell coalescing, burst service)
+
+// Regression: the blocked-doze (`blocked_poll_interval`) and the coalesced
+// doorbell must compose. A doorbell landing while the firmware dozes on
+// blocked channels has to wake it exactly once — a lost wakeup would park
+// the new descriptor until the doze times out; a doubled one would charge
+// a phantom service pass.
+TEST_F(NicTest, DoorbellMidDozeWakesFirmwareExactlyOnce) {
+  NicConfig cfg;
+  cfg.channels_per_peer = 2;            // small: a bulk send parks them all
+  cfg.max_packet_payload = 512;
+  cfg.blocked_poll_interval = 500 * sim::us;
+  myrinet::FabricParams fp;
+  fp.link.propagation = 100 * sim::us;  // acks ~200 us away: doze is long
+  build(3, cfg, fp);
+  auto* src = make_ep(0, 1, 0x1, 0);
+  auto* src2 = make_ep(0, 4, 0x4, 1);   // second endpoint: its own doorbell
+  auto* d1 = make_ep(1, 2, 0x2, 0);
+  auto* d2 = make_ep(2, 3, 0x3, 0);
+  map(src, 0, 1, 2, 0x2);
+  map(src2, 0, 2, 3, 0x3);
+
+  // 4-fragment bulk: frags 0-1 depart and park both channels to node 1
+  // until their acks return; frags 2-3 stay unsent, so the firmware is in
+  // the blocked doze well before the 50 us mark.
+  post_request(src, 0, 1, 0, /*bulk_bytes=*/2048);
+  eng_.run_for(50 * sim::us);
+  ASSERT_EQ(nics_[0]->busy_channel_count(), 2);
+  const std::uint64_t w0 = nic_counter(0, "firmware_wakeups");
+  const std::uint64_t sent0 = nic_counter(0, "data_sent");
+
+  // Doorbell mid-doze from the other endpoint, whose channel (node 2) is
+  // free.
+  post_request(src2, 0, 5, 77);
+  eng_.run_for(20 * sim::us);  // << ack RTT, << blocked_poll_interval
+
+  EXPECT_EQ(nic_counter(0, "firmware_wakeups"), w0 + 1);
+  EXPECT_EQ(nic_counter(0, "data_sent"), sent0 + 1);
+
+  eng_.run();
+  ASSERT_EQ(d2->recv_requests.size(), 1u);
+  EXPECT_EQ(d2->recv_requests.front().body.args[0], 77u);
+  ASSERT_EQ(d1->recv_requests.size(), 1u);
+  EXPECT_EQ(nic_counter(0, "retransmissions"), 0u);
+}
+
+// Two rings inside one coalescing window fold into an immediate ring plus
+// one deferred ring at the window's end. Both descriptors are drained on
+// the first wakeup; the deferred ring may wake the dozing firmware once
+// more but must not re-service anything.
+TEST_F(NicTest, CoalescedDoorbellFoldsRingsWithoutDoubleService) {
+  NicConfig cfg;
+  cfg.channels_per_peer = 2;
+  cfg.max_packet_payload = 512;
+  cfg.blocked_poll_interval = 500 * sim::us;
+  cfg.doorbell_coalesce = 10 * sim::us;
+  myrinet::FabricParams fp;
+  fp.link.propagation = 100 * sim::us;
+  build(3, cfg, fp);
+  auto* src = make_ep(0, 1, 0x1, 0);
+  auto* src2 = make_ep(0, 4, 0x4, 1);
+  auto* src3 = make_ep(0, 5, 0x5, 2);
+  make_ep(1, 2, 0x2, 0);
+  auto* d2 = make_ep(2, 3, 0x3, 0);
+  map(src, 0, 1, 2, 0x2);
+  map(src2, 0, 2, 3, 0x3);
+  map(src3, 0, 2, 3, 0x3);
+
+  post_request(src, 0, 1, 0, /*bulk_bytes=*/2048);  // parks channels to 1
+  eng_.run_for(50 * sim::us);
+  const std::uint64_t w0 = nic_counter(0, "firmware_wakeups");
+  const std::uint64_t sent0 = nic_counter(0, "data_sent");
+
+  // Back-to-back rings from two endpoints aimed at the free peer: the
+  // first passes through, the second is folded into the deferred ring —
+  // but the first wakeup's service pass drains both descriptors.
+  post_request(src2, 0, 5, 1);
+  post_request(src3, 0, 5, 2);
+  eng_.run_for(20 * sim::us);  // past the 10 us window
+
+  // One wakeup serviced both descriptors; the deferred ring's wakeup (if
+  // the firmware was back in its doze) found nothing to send.
+  EXPECT_EQ(nic_counter(0, "data_sent"), sent0 + 2);
+  EXPECT_LE(nic_counter(0, "firmware_wakeups"), w0 + 2);
+
+  eng_.run();
+  ASSERT_EQ(d2->recv_requests.size(), 2u);
+  EXPECT_EQ(d2->recv_requests[0].body.args[0], 1u);
+  EXPECT_EQ(d2->recv_requests[1].body.args[0], 2u);
+  EXPECT_EQ(nic_counter(0, "retransmissions"), 0u);
+}
+
+// Doorbell-then-reboot race: descriptors posted (one ring immediate, one
+// deferred and still in flight when the NIC reboots) live in host memory
+// and must survive the reboot; the rebuilt channels deliver them exactly
+// once in the new epoch, and the stale deferred ring must not disturb the
+// rebooted NIC.
+TEST_F(NicTest, DoorbellThenRebootDeliversExactlyOnce) {
+  NicConfig cfg;
+  cfg.doorbell_coalesce = 5 * sim::us;
+  build(2, cfg);
+  auto* src = make_ep(0, 1, 0x11, 0);
+  auto* dst = make_ep(1, 2, 0x22, 0);
+  map(src, 0, 1, 2, 0x22);
+
+  post_request(src, 0, 1, 1);
+  post_request(src, 0, 1, 2);  // same instant: folded into a deferred ring
+  nics_[0]->reboot();          // races the deferred ring
+  eng_.run();
+
+  ASSERT_EQ(dst->recv_requests.size(), 2u);
+  EXPECT_EQ(dst->recv_requests[0].body.args[0], 1u);
+  EXPECT_EQ(dst->recv_requests[1].body.args[0], 2u);
+  EXPECT_EQ(dst->msgs_delivered, 2u);
+  EXPECT_EQ(src->msgs_sent, 2u);
+  EXPECT_TRUE(src->send_queue.empty());
+}
+
+// FIFO per channel across burst boundaries: with a single logical channel
+// and a burst_service smaller than the backlog, the firmware needs several
+// bursts (and doze/wake cycles between acks) to drain the queue — arrival
+// order must still match post order exactly.
+TEST_F(NicTest, BurstBoundaryPreservesPerChannelFifo) {
+  NicConfig cfg;
+  cfg.channels_per_peer = 1;
+  cfg.burst_service = 2;
+  build(2, cfg);
+  auto* src = make_ep(0, 1, 0x11, 0);
+  auto* dst = make_ep(1, 2, 0x22, 0);
+  map(src, 0, 1, 2, 0x22);
+
+  constexpr int kMsgs = 7;  // 4 burst boundaries at burst_service=2
+  for (int i = 0; i < kMsgs; ++i) {
+    post_request(src, 0, 1, static_cast<std::uint64_t>(i));
+  }
+  eng_.run();
+
+  ASSERT_EQ(dst->recv_requests.size(), static_cast<std::size_t>(kMsgs));
+  for (int i = 0; i < kMsgs; ++i) {
+    EXPECT_EQ(dst->recv_requests[static_cast<std::size_t>(i)].body.args[0],
+              static_cast<std::uint64_t>(i))
+        << "message " << i << " out of order";
+  }
+  EXPECT_EQ(nic_counter(1, "duplicates_suppressed"), 0u);
+}
+
 }  // namespace
 }  // namespace vnet::lanai

@@ -403,7 +403,7 @@ TEST(Faults, MalformedRouteCountsAsRouteError) {
   Packet p;
   p.src = 0;
   p.dst = 1;
-  p.route = {};  // no route bytes at all
+  p.route = RouteBytes{};  // no route bytes at all
   p.wire_bytes = 64;
   f->station(0).inject(std::move(p));
   eng.run();

@@ -391,7 +391,7 @@ RunArtifacts traced_ping_pong() {
     });
     sh->server = ep->name();
     while (sh->got_request == 0) {
-      co_await ep->wait(t);
+      co_await ep->wait_events(t, am::kEventArrivals);
       co_await ep->poll(t);
     }
     co_await t.sleep(1 * sim::ms);
@@ -436,7 +436,7 @@ TEST(ObsIntegration, RegistrySeesWholeStack) {
     });
     sh->server = ep->name();
     while (sh->got_request == 0) {
-      co_await ep->wait(t);
+      co_await ep->wait_events(t, am::kEventArrivals);
       co_await ep->poll(t);
     }
     co_await t.sleep(1 * sim::ms);

@@ -271,10 +271,10 @@ TEST(EventMasks, ReturnedMaskWakesOnlyOnReturn) {
   sim::Time woke_at = -1;
   cl.spawn_thread(0, "t", [&](host::HostThread& t) -> sim::Task<> {
     auto ep = co_await am::Endpoint::create(t, 1);
-    ep->set_event_mask(am::kEventReturned);
     ep->map_raw(0, 1, /*nonexistent ep=*/99, 0);
     co_await ep->request(t, 0, 1, 1);
-    co_await ep->wait(t);  // only a returned message may wake us
+    // Only a returned message may wake us.
+    co_await ep->wait_events(t, am::kEventReturned);
     woke = true;
     woke_at = t.engine().now();
     co_await ep->poll(t);
@@ -317,8 +317,7 @@ TEST(EventMasks, SendSpaceMaskSignalsWhenWindowFrees) {
     // replied to until t=5ms, so the credit window pins at 32.
     for (int i = 0; i < 32; ++i) co_await ep->request(t, 0, 1, 1);
     EXPECT_EQ(ep->credits_in_use(), 32);
-    ep->set_event_mask(am::kEventSendSpace);
-    co_await ep->wait(t);
+    co_await ep->wait_events(t, am::kEventSendSpace);
     space_at = t.engine().now();
     co_await ep->poll(t, 8);
     EXPECT_LT(ep->credits_in_use(), 32);
@@ -347,7 +346,8 @@ TEST_P(ArgFidelity, AllFourArgsArriveIntact) {
     });
     server = ep->name();
     while (!done) {
-      co_await ep->wait_for(t, 500 * sim::us);
+      (void)co_await ep->wait_events_for(t, am::kEventArrivals,
+                                         500 * sim::us);
       co_await ep->poll(t);
     }
     co_await t.sleep(1 * sim::ms);

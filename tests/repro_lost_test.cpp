@@ -35,10 +35,9 @@ ReproOutcome run_repro(std::uint64_t seed) {
         ++oc.served[sidx];
         m.reply(2, {m.arg(0)});
       });
-      ep->set_event_mask(am::kEventReceive);
       sname[sidx] = ep->name();
       while (!stop) {
-        if (co_await ep->wait_for(t, 2 * sim::ms)) {
+        if (co_await ep->wait_events_for(t, am::kEventReceive, 2 * sim::ms)) {
           while (co_await ep->poll(t, 16) > 0) {
           }
         }
