@@ -13,6 +13,7 @@
 // Usage: bench_engine [--json PATH] [--repeats N] [--min-secs S] [--quick]
 // (--out is a legacy alias for --json kept for existing scripts.)
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -50,6 +51,8 @@ struct BenchResult {
   // lower is better, and the gate must not normalize it by calib_spin
   // (it measures simulated work, not wall time).
   bool lower_is_better = false;
+  // Per-entry gate tolerance (fraction); < 0 means use the gate's default.
+  double tolerance = -1;
 };
 
 struct Bench {
@@ -201,8 +204,9 @@ struct FullStackCounts {
   std::uint64_t events = 0;  // engine events processed for the whole pass
 };
 
-FullStackCounts full_stack_pass() {
+FullStackCounts full_stack_pass(std::uint32_t span_interval = 0) {
   cluster::Cluster cl(cluster::NowConfig(2));
+  cl.engine().spans().set_sample_interval(span_interval);
   am::Name server;
   std::uint64_t got = 0;
   bool stop = false;
@@ -267,12 +271,14 @@ void write_json(const std::string& path,
     const auto& r = results[i];
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"unit\": \"%s\", \"rate\": %.6g, "
-                 "\"wall_s\": %.4g, \"items\": %llu%s}%s\n",
+                 "\"wall_s\": %.4g, \"items\": %llu",
                  r.name.c_str(), r.unit.c_str(), r.rate, r.wall_s,
-                 static_cast<unsigned long long>(r.items),
-                 r.lower_is_better ? ", \"direction\": \"lower\", \"raw\": true"
-                                   : "",
-                 i + 1 < results.size() ? "," : "");
+                 static_cast<unsigned long long>(r.items));
+    if (r.lower_is_better) {
+      std::fprintf(f, ", \"direction\": \"lower\", \"raw\": true");
+    }
+    if (r.tolerance >= 0) std::fprintf(f, ", \"tolerance\": %g", r.tolerance);
+    std::fprintf(f, "}%s\n", i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -337,6 +343,60 @@ int main(int argc, char** argv) {
     std::printf("%-26s %14.2f %-12s %10s\n", r.name.c_str(), r.rate,
                 r.unit.c_str(), "-");
     results.push_back(std::move(r));
+  }
+  // Span-capture overhead: wall-clock cost of the causal span recorder
+  // (obs/span.hpp) on the same full-stack pass, reported as the ratio of
+  // the uninstrumented message rate to the instrumented one (1.0 = free).
+  // A ratio of rates on the same machine needs no calib_spin normalization
+  // (raw), lower is better, and each entry carries the tight per-entry
+  // tolerance from the ISSUE acceptance: 1-in-64 sampling must stay within
+  // ~2% of free, full sampling within ~10% (the checked-in baselines pin
+  // the ideal 1.0, so the gate enforces those bounds absolutely).
+  {
+    // Measuring each config in its own block would fold machine-speed
+    // drift between blocks into the ratio; instead every round times one
+    // pass per config back to back, and the ratio is taken over per-config
+    // minima. A pass is ~10ms, so scheduler preemption and frequency dips
+    // add noise comparable to the ~2% signal; that noise is strictly
+    // additive, which makes min-of-rounds (not the median) the estimator
+    // that converges on the uncontaminated pass time for each config.
+    const auto time_pass = [](std::uint32_t interval) {
+      const auto t0 = Clock::now();
+      (void)full_stack_pass(interval);
+      return seconds_since(t0);
+    };
+    const int rounds =
+        std::max(5, static_cast<int>(repeats * min_secs / 0.03));
+    std::vector<double> off, in64, full;
+    (void)time_pass(0);  // warm caches/allocator before the first round
+    for (int i = 0; i < rounds; ++i) {
+      off.push_back(time_pass(0));
+      in64.push_back(time_pass(64));
+      full.push_back(time_pass(1));
+    }
+    const auto best = [](const std::vector<double>& v) {
+      return *std::min_element(v.begin(), v.end());
+    };
+    const double base = best(off);
+    const struct {
+      const char* name;
+      double secs;
+      double tolerance;
+    } cfgs[] = {
+        {"span_capture_overhead_1in64", best(in64), 0.02},
+        {"span_capture_overhead_full", best(full), 0.09},
+    };
+    for (const auto& c : cfgs) {
+      BenchResult r;
+      r.name = c.name;
+      r.unit = "x";
+      r.rate = base > 0 ? c.secs / base : 0.0;
+      r.lower_is_better = true;
+      r.tolerance = c.tolerance;
+      std::printf("%-26s %14.3f %-12s %10s\n", r.name.c_str(), r.rate,
+                  r.unit.c_str(), "-");
+      results.push_back(std::move(r));
+    }
   }
   write_json(out, results);
   std::printf("\nwrote %s\n", out.c_str());

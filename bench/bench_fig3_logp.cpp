@@ -63,5 +63,14 @@ int main() {
                 "reconcile with the measured round trip\n");
     return 1;
   }
+
+  // --- differential tail profile of the same ping-pongs (obs/span.hpp) ---
+  std::printf("\n%s", attr.tail_report.c_str());
+  if (attr.tail_recon_p50 > 0.05 || attr.tail_recon_tail > 0.05) {
+    std::printf("TAIL RECONCILIATION MISMATCH: cohort critical-path sums "
+                "diverge from cohort e2e means (p50 %.1f%%, tail %.1f%%)\n",
+                100.0 * attr.tail_recon_p50, 100.0 * attr.tail_recon_tail);
+    return 1;
+  }
   return 0;
 }

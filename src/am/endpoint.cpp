@@ -5,6 +5,7 @@
 
 #include "am/probe.hpp"
 #include "obs/attr.hpp"
+#include "obs/span.hpp"
 
 namespace vnet::am {
 
@@ -321,13 +322,21 @@ sim::Task<> Endpoint::send_common(host::HostThread& t,
                              dst);
   }
   obs::AttrRecorder& attr = host_->engine().attr();
+  obs::SpanRecorder& spans = host_->engine().spans();
   bool attr_tracked = false;
+  bool span_tracked = false;
   std::uint64_t attr_key = 0;
-  if (attr.enabled()) {
+  if (attr.enabled() || spans.enabled()) {
     const auto node = static_cast<std::uint32_t>(state_->node);
-    attr_tracked = attr.begin(node, state_->id, desc.msg_id,
-                              static_cast<std::int64_t>(enq_at), enq_ev);
     attr_key = obs::AttrRecorder::key(node, state_->id, desc.msg_id);
+    if (attr.enabled()) {
+      attr_tracked = attr.begin(node, state_->id, desc.msg_id,
+                                static_cast<std::int64_t>(enq_at), enq_ev);
+    }
+    if (spans.enabled()) {
+      span_tracked = spans.begin(node, state_->id, desc.msg_id,
+                                 static_cast<std::int64_t>(enq_at));
+    }
   }
   state_->send_queue.push_back(std::move(desc));
   if (is_request) {
@@ -336,11 +345,17 @@ sim::Task<> Endpoint::send_common(host::HostThread& t,
   } else {
     counters_.replies_sent.inc();
   }
-  host_->nic().doorbell(*state_);
+  const sim::Time gate_at = host_->nic().doorbell(*state_);
   if (attr_tracked) {
     attr.stamp(attr_key, obs::Stage::kDoorbell,
                static_cast<std::int64_t>(host_->engine().now()),
                static_cast<std::int64_t>(host_->engine().events_processed()));
+  }
+  if (span_tracked) {
+    spans.point(attr_key, obs::SpanPoint::kDoorbell,
+                static_cast<std::int64_t>(host_->engine().now()));
+    spans.point(attr_key, obs::SpanPoint::kGateOpen,
+                static_cast<std::int64_t>(gate_at));
   }
   unlock();
 }
@@ -388,18 +403,23 @@ sim::Task<std::size_t> Endpoint::poll(host::HostThread& t, std::size_t max) {
     const bool credit_only =
         !entry.body.is_request && entry.body.handler == kCreditHandler;
     obs::AttrRecorder& attr = host_->engine().attr();
+    obs::SpanRecorder& spans = host_->engine().spans();
     bool attr_track = false;
     std::uint64_t attr_key = 0;
-    if (attr.enabled() && !credit_only) {
+    if ((attr.enabled() || spans.enabled()) && !credit_only) {
       // Dequeue is the handler/thread-wake boundary: everything from here
       // to handler return is receiver overhead o_r.
       attr_key = obs::AttrRecorder::key(
           static_cast<std::uint32_t>(entry.src_node), entry.src_ep,
           entry.msg_id);
-      attr.stamp(attr_key, obs::Stage::kHandlerWake,
-                 static_cast<std::int64_t>(host_->engine().now()),
-                 static_cast<std::int64_t>(
-                     host_->engine().events_processed()));
+      if (attr.enabled()) {
+        attr.stamp(attr_key, obs::Stage::kHandlerWake,
+                   static_cast<std::int64_t>(host_->engine().now()),
+                   static_cast<std::int64_t>(
+                       host_->engine().events_processed()));
+      }
+      spans.point(attr_key, obs::SpanPoint::kHandlerWake,
+                  static_cast<std::int64_t>(host_->engine().now()));
       attr_track = true;
     }
     if (credit_only) {
@@ -434,6 +454,8 @@ sim::Task<std::size_t> Endpoint::poll(host::HostThread& t, std::size_t max) {
                       static_cast<std::int64_t>(host_->engine().now()),
                       static_cast<std::int64_t>(
                           host_->engine().events_processed()));
+          spans.finish(attr_key,
+                       static_cast<std::int64_t>(host_->engine().now()));
         }
       }
       events_.notify_all();  // credit/space became available
@@ -448,6 +470,8 @@ sim::Task<std::size_t> Endpoint::poll(host::HostThread& t, std::size_t max) {
       attr.finish(attr_key, static_cast<std::int64_t>(host_->engine().now()),
                   static_cast<std::int64_t>(
                       host_->engine().events_processed()));
+      spans.finish(attr_key,
+                   static_cast<std::int64_t>(host_->engine().now()));
     }
 
     // Request/reply paradigm: send the handler's reply, or an implicit
@@ -507,20 +531,34 @@ sim::Task<> Endpoint::enqueue_reply_locked(host::HostThread& t,
                              /*is_request=*/false, d.reply_to.node);
   }
   obs::AttrRecorder& attr = host_->engine().attr();
+  obs::SpanRecorder& spans = host_->engine().spans();
   bool attr_tracked = false;
+  bool span_tracked = false;
   std::uint64_t attr_key = 0;
-  if (attr.enabled() && tracked_kind) {
+  if ((attr.enabled() || spans.enabled()) && tracked_kind) {
     const auto node = static_cast<std::uint32_t>(state_->node);
-    attr_tracked = attr.begin(node, state_->id, d.msg_id,
-                              static_cast<std::int64_t>(enq_at), enq_ev);
     attr_key = obs::AttrRecorder::key(node, state_->id, d.msg_id);
+    if (attr.enabled()) {
+      attr_tracked = attr.begin(node, state_->id, d.msg_id,
+                                static_cast<std::int64_t>(enq_at), enq_ev);
+    }
+    if (spans.enabled()) {
+      span_tracked = spans.begin(node, state_->id, d.msg_id,
+                                 static_cast<std::int64_t>(enq_at));
+    }
   }
   state_->send_queue.push_back(std::move(d));
-  host_->nic().doorbell(*state_);
+  const sim::Time gate_at = host_->nic().doorbell(*state_);
   if (attr_tracked) {
     attr.stamp(attr_key, obs::Stage::kDoorbell,
                static_cast<std::int64_t>(host_->engine().now()),
                static_cast<std::int64_t>(host_->engine().events_processed()));
+  }
+  if (span_tracked) {
+    spans.point(attr_key, obs::SpanPoint::kDoorbell,
+                static_cast<std::int64_t>(host_->engine().now()));
+    spans.point(attr_key, obs::SpanPoint::kGateOpen,
+                static_cast<std::int64_t>(gate_at));
   }
 }
 
@@ -548,6 +586,15 @@ void Endpoint::on_returned(lanai::SendDescriptor d, lanai::NackReason r) {
     // A returned message never reaches a handler; forget its flight.
     host_->engine().attr().drop(obs::AttrRecorder::key(
         static_cast<std::uint32_t>(state_->node), state_->id, d.msg_id));
+  }
+  if (state_ != nullptr && host_->engine().spans().enabled()) {
+    // Spans keep the return as a terminal edge: returned traces explain
+    // tail mass even though they never complete.
+    host_->engine().spans().drop_returned(
+        obs::SpanRecorder::key(static_cast<std::uint32_t>(state_->node),
+                               state_->id, d.msg_id),
+        static_cast<std::int64_t>(host_->engine().now()),
+        static_cast<std::int32_t>(r));
   }
   returned_.push_back(ReturnedMessage{std::move(d), r});
   events_.notify_all();

@@ -6,6 +6,7 @@
 #include "am/endpoint.hpp"
 #include "cluster/cluster.hpp"
 #include "obs/sampler.hpp"
+#include "obs/span.hpp"
 #include "sim/stats.hpp"
 
 namespace vnet::apps {
@@ -61,11 +62,23 @@ sim::Task<> server_body(host::HostThread& t, SharedState& st) {
 BandwidthResult measure_bandwidth(const cluster::ClusterConfig& config,
                                   const std::vector<std::uint32_t>& sizes,
                                   int stream_messages, int pingpongs,
-                                  sim::Duration sample_period) {
+                                  sim::Duration sample_period,
+                                  std::uint32_t span_sample_interval) {
   cluster::ClusterConfig cfg = config;
   cfg.nodes = 2;
   cfg.topology = cluster::ClusterConfig::Topology::kCrossbar;
   cluster::Cluster cl(cfg);
+  if (span_sample_interval > 0) {
+    cl.engine().spans().set_sample_interval(span_sample_interval);
+    cl.engine().attr().set_sample_interval(span_sample_interval);
+    // Enough for every sampled message across all sizes (streams + echoes,
+    // requests + replies).
+    const std::size_t msgs = sizes.size() *
+                             static_cast<std::size_t>(stream_messages +
+                                                      2 * pingpongs + 16) *
+                             2 / span_sample_interval;
+    cl.engine().spans().set_ring_capacity(msgs + 64);
+  }
   auto st = std::make_unique<SharedState>();
   BandwidthResult result;
   sim::LinearFit fit;
@@ -83,6 +96,9 @@ BandwidthResult measure_bandwidth(const cluster::ClusterConfig& config,
     obs::SamplerConfig scfg;
     scfg.period_ns = sample_period;
     scfg.prefixes = {"apps.bandwidth", "fabric.link."};
+    // With attribution on, also export the per-endpoint attr histograms so
+    // the CSV carries p50/p99/p999 latency columns per window.
+    if (span_sample_interval > 0) scfg.prefixes.push_back("host.");
     sampler = std::make_unique<obs::Sampler>(cl.engine().metrics(), scfg);
     sampler->sample(cl.engine().now());  // baseline window
     cl.engine().every(sample_period, [&sampler, &st, &cl] {
@@ -154,6 +170,9 @@ BandwidthResult measure_bandwidth(const cluster::ClusterConfig& config,
   if (sampler) {
     sampler->sample(cl.engine().now());  // close the final partial window
     result.timeseries_csv = sampler->csv();
+  }
+  if (span_sample_interval > 0) {
+    result.tail_report = obs::render_tail_report(cl.engine().spans());
   }
 
   result.slope_us_per_byte = fit.slope();

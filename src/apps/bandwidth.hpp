@@ -28,8 +28,13 @@ struct BandwidthResult {
   /// sample period was requested): one row per window with per-link byte
   /// deltas plus the `apps.bandwidth.msg_bytes` / `.phase` gauges, enough
   /// to regenerate the bandwidth-vs-size curve offline
-  /// (scripts/plot_timeseries.py).
+  /// (scripts/plot_timeseries.py). With span capture on, the window rows
+  /// additionally carry `host.<n>.ep.<id>.attr.*` percentile columns
+  /// (.p50/.p99/.p999) for percentile-band plots.
   std::string timeseries_csv;
+  /// Differential tail profile of the captured spans ("" unless
+  /// `span_sample_interval` > 0). See obs/span.hpp.
+  std::string tail_report;
 };
 
 /// Phase gauge values published under `apps.bandwidth.phase`.
@@ -41,11 +46,16 @@ inline constexpr double kBwPhaseEcho = 2;
 /// message size, a windowed stream measures delivered bandwidth, and a
 /// ping-pong with same-size echoes measures round-trip time. A non-zero
 /// `sample_period` additionally runs an obs::Sampler over the
-/// `apps.bandwidth` and `fabric.link.` metric prefixes every period of
-/// simulated time and returns the CSV.
+/// `apps.bandwidth`, `fabric.link.`, and `host.` metric prefixes every
+/// period of simulated time and returns the CSV. A non-zero
+/// `span_sample_interval` turns on 1-in-N causal span capture (plus
+/// latency attribution, so the CSV carries per-endpoint percentile
+/// columns) and returns the rendered tail profile; recording takes no
+/// simulated time, so the measured curve is unchanged.
 BandwidthResult measure_bandwidth(const cluster::ClusterConfig& config,
                                   const std::vector<std::uint32_t>& sizes,
                                   int stream_messages = 160, int pingpongs = 30,
-                                  sim::Duration sample_period = 0);
+                                  sim::Duration sample_period = 0,
+                                  std::uint32_t span_sample_interval = 0);
 
 }  // namespace vnet::apps

@@ -6,6 +6,7 @@
 #include "cluster/cluster.hpp"
 #include "obs/attr.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/stats.hpp"
 
 namespace vnet::apps {
@@ -112,7 +113,13 @@ LogpResult measure_logp(const cluster::ClusterConfig& config, int pingpongs,
   cfg.nodes = 2;
   cfg.topology = cluster::ClusterConfig::Topology::kCrossbar;
   cluster::Cluster cl(cfg);
-  if (attribute) cl.engine().attr().set_sample_interval(1);  // track all
+  if (attribute) {
+    cl.engine().attr().set_sample_interval(1);  // track all
+    cl.engine().spans().set_sample_interval(1);
+    // Retain every ping-pong (requests + replies) for the tail profile.
+    cl.engine().spans().set_ring_capacity(
+        static_cast<std::size_t>(2 * (pingpongs + stream) + 64));
+  }
   auto st = std::make_unique<SharedState>();
 
   cl.spawn_thread(1, "logp-server", [&st, pingpongs, stream](
@@ -141,6 +148,11 @@ LogpResult measure_logp(const cluster::ClusterConfig& config, int pingpongs,
     r.attr_e2e_us = sum.e2e.mean() / 1e3;
     r.attr_stage_sum_us = sum.stage_sum_mean_ns() / 1e3;
     r.attr_report = obs::render_attr_report(snap);
+    const obs::TailReport tail =
+        obs::tail_report(cl.engine().spans().collect());
+    r.tail_report = obs::render_tail_report(tail);
+    r.tail_recon_p50 = tail.p50_recon_err();
+    r.tail_recon_tail = tail.tail_recon_err();
   }
   return r;
 }

@@ -19,6 +19,14 @@ struct LogpResult {
   double attr_e2e_us = 0;        ///< mean one-way end-to-end (enqueue->done)
   double attr_stage_sum_us = 0;  ///< sum of the per-stage interval means
   std::string attr_report;       ///< rendered stage table ("" otherwise)
+
+  // Also filled under `attribute`: the span recorder's differential tail
+  // profile of the same messages (obs/span.hpp), plus its reconciliation
+  // errors (cohort critical-path stage sum vs. cohort e2e mean — an
+  // identity by construction, recomputed as a self-check).
+  std::string tail_report;  ///< rendered culprit table ("" otherwise)
+  double tail_recon_p50 = 0;
+  double tail_recon_tail = 0;
 };
 
 /// Runs the LogP microbenchmark of [9] on a fresh 2-node cluster with the

@@ -111,6 +111,9 @@ struct Frame : myrinet::Payload {
   /// station (copied from Packet::delivered_at by handle_rx), the wire
   /// boundary for latency attribution (obs/attr.hpp). -1 for local frames.
   sim::Time delivered_at = -1;
+  /// Not a wire field: link hops the carrying packet traversed (copied
+  /// from Packet::hops by handle_rx); annotates captured spans.
+  std::uint8_t wire_hops = 0;
 
   /// §8 extension: acknowledgments piggybacked on a data frame (empty
   /// unless NicConfig::piggyback_acks is enabled).

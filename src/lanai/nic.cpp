@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "obs/attr.hpp"
+#include "obs/span.hpp"
 
 namespace vnet::lanai {
 
@@ -140,12 +141,13 @@ void Nic::start() {
   engine_->spawn(firmware_loop());
 }
 
-void Nic::doorbell(EndpointState& ep) {
-  if (!ep.resident()) return;
+sim::Time Nic::doorbell(EndpointState& ep) {
+  const sim::Time now = engine_->now();
+  if (!ep.resident()) return now;
   const sim::Duration window = config_.doorbell_coalesce;
   if (window <= 0) {
     work_.notify_all();
-    return;
+    return now;
   }
   // Doorbell moderation: the first ring in a window passes through and
   // opens the window; later rings within it are folded into one deferred
@@ -153,12 +155,11 @@ void Nic::doorbell(EndpointState& ep) {
   // per wakeup, so a folded ring loses no work — the deferred event is
   // only needed for the case where the firmware went idle again before
   // the window closed (otherwise its notify finds no waiter and is free).
-  const sim::Time now = engine_->now();
-  if (doorbell_deferred_) return;  // a deferred ring is already scheduled
+  if (doorbell_deferred_) return doorbell_gate_;  // deferred ring scheduled
   if (now >= doorbell_gate_) {
     doorbell_gate_ = now + window;
     work_.notify_all();
-    return;
+    return now;
   }
   doorbell_deferred_ = true;
   engine_->at(doorbell_gate_, [this] {
@@ -166,6 +167,7 @@ void Nic::doorbell(EndpointState& ep) {
     doorbell_gate_ = engine_->now() + config_.doorbell_coalesce;
     work_.notify_all();
   });
+  return doorbell_gate_;
 }
 
 void Nic::submit(DriverOp op) {
@@ -345,6 +347,12 @@ sim::Task<bool> Nic::service_endpoint(EndpointState& ep) {
 }
 
 sim::Task<bool> Nic::start_fragment(EndpointState& ep, SendDescriptor& desc) {
+  if (engine_->spans().enabled()) {
+    engine_->spans().point(
+        obs::SpanRecorder::key(static_cast<std::uint32_t>(node_), ep.id,
+                               desc.msg_id),
+        obs::SpanPoint::kNicPickup, static_cast<std::int64_t>(engine_->now()));
+  }
   if (engine_->attr().enabled()) {
     // First pickup only (repeat stamps are ignored): rebinds and later
     // fragments attribute to the initial tx-service wait.
@@ -567,6 +575,14 @@ sim::Task<bool> Nic::deliver_local(EndpointState& src, SendDescriptor& desc,
         obs::Stage::kRxDeposit, static_cast<std::int64_t>(engine_->now()),
         static_cast<std::int64_t>(engine_->events_processed()));
   }
+  if (engine_->spans().enabled()) {
+    // The span keeps the same gap; critical_path() charges the whole
+    // pickup→deposit interval to tx_service for local traffic.
+    engine_->spans().point(
+        obs::SpanRecorder::key(static_cast<std::uint32_t>(node_), src.id,
+                               desc.msg_id),
+        obs::SpanPoint::kRxDeposit, static_cast<std::int64_t>(engine_->now()));
+  }
   finish_ok();
   if (dst.on_arrival) dst.on_arrival();
   co_return true;
@@ -602,6 +618,12 @@ sim::Task<> Nic::inject(Frame f) {
         obs::Stage::kWireInject, static_cast<std::int64_t>(engine_->now()),
         static_cast<std::int64_t>(engine_->events_processed()));
   }
+  if (own_data && engine_->spans().enabled()) {
+    engine_->spans().point(
+        obs::SpanRecorder::key(static_cast<std::uint32_t>(node_), attr_ep,
+                               attr_msg),
+        obs::SpanPoint::kWireInject, static_cast<std::int64_t>(engine_->now()));
+  }
   station_->inject(std::move(p));
 }
 
@@ -611,6 +633,7 @@ sim::Task<bool> Nic::handle_rx(myrinet::Packet pkt) {
   auto* frame = dynamic_cast<Frame*>(pkt.payload.get());
   if (frame == nullptr) co_return true;  // foreign traffic: ignore
   frame->delivered_at = pkt.delivered_at;
+  frame->wire_hops = pkt.hops;
   if (pkt.corrupt) {
     // CRC failure: drop silently; the sender's timer recovers it.
     counters_.crc_drops.inc();
@@ -763,6 +786,17 @@ sim::Task<> Nic::accept_fragment(EndpointState& ep, const Frame& f,
       engine_->attr().stamp(
           k, obs::Stage::kRxDeposit, static_cast<std::int64_t>(engine_->now()),
           static_cast<std::int64_t>(engine_->events_processed()));
+    }
+    if (engine_->spans().enabled()) {
+      const std::uint64_t k = obs::SpanRecorder::key(
+          static_cast<std::uint32_t>(f.src_node), f.src_ep, f.msg_id);
+      if (f.delivered_at >= 0) {
+        engine_->spans().point(k, obs::SpanPoint::kWireDeliver,
+                               static_cast<std::int64_t>(f.delivered_at));
+        engine_->spans().set_wire_hops(k, f.wire_hops);
+      }
+      engine_->spans().point(k, obs::SpanPoint::kRxDeposit,
+                             static_cast<std::int64_t>(engine_->now()));
     }
     if (ep.on_arrival) ep.on_arrival();
   };
@@ -1032,6 +1066,15 @@ sim::Task<bool> Nic::handle_retransmit(ChannelState* ch) {
   ch->sent_at = engine_->now();
   ch->was_retransmitted = true;  // Karn: no RTT sample from this exchange
   counters_.retransmissions.inc();
+  if (engine_->spans().enabled()) {
+    // Retransmission edge: the span keeps its first-pickup/first-inject
+    // boundaries and records the retry as causal metadata instead.
+    engine_->spans().edge(
+        obs::SpanRecorder::key(static_cast<std::uint32_t>(node_), ep.id,
+                               desc->msg_id),
+        obs::SpanEdge::Kind::kRetransmit,
+        static_cast<std::int64_t>(engine_->now()), ch->consecutive_retries);
+  }
   co_await inject(ch->pending);
   if (table_gen != channel_table_gen_) co_return true;
   arm_timer(*ch, backoff_for(*ch, ch->consecutive_retries));

@@ -109,7 +109,11 @@ class Nic {
   // ---- host-side interface ----
 
   /// Doorbell: the host wrote a send descriptor into a resident endpoint.
-  void doorbell(EndpointState& ep);
+  /// Returns the time the ring reaches the firmware — `now` when it passes
+  /// straight through, the end of the coalesce window when it is folded
+  /// into a deferred ring. Span capture stamps this as the kGateOpen
+  /// boundary, splitting doorbell-moderation wait from tx queue wait.
+  sim::Time doorbell(EndpointState& ep);
 
   // ---- driver/NI protocol (§4.3) ----
 

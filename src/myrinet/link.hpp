@@ -86,6 +86,7 @@ class Channel {
     // The arrival instant rides in the packet; after the last hop it is the
     // wire-stage boundary for latency attribution (packet.hpp).
     p.delivered_at = tx_free_at_ + params_.propagation;
+    if (p.hops < 0xff) ++p.hops;
     train_.push_back(std::move(p));
     if (!delivery_pending_) {
       delivery_pending_ = true;

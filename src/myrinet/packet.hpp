@@ -73,6 +73,10 @@ struct Packet {
   /// time at the destination station — the wire-stage boundary for latency
   /// attribution (obs/attr.hpp). -1 until the packet first enters a link.
   sim::Time delivered_at = -1;
+  /// Link hops traversed so far (bumped alongside delivered_at); at the
+  /// destination it annotates the wire stage of a captured span
+  /// (obs/span.hpp) — tail messages often rode the longer route.
+  std::uint8_t hops = 0;
   /// Unique id for tracing.
   std::uint64_t id = 0;
   std::unique_ptr<Payload> payload;

@@ -11,14 +11,31 @@ namespace vnet::obs {
 
 namespace {
 
+constexpr std::uint32_t kSub = HistogramData::kSubBuckets;
+
+// Bucket 0 is [0,1); bucket 1 + m*kSub + s is
+// [2^m * (1 + s/kSub), 2^m * (1 + (s+1)/kSub)).
 std::size_t bucket_of(double x) {
   if (x < 1.0) return 0;
-  return static_cast<std::size_t>(std::ilogb(x)) + 1;
+  const int m = std::ilogb(x);
+  auto s = static_cast<std::uint32_t>((std::ldexp(x, -m) - 1.0) * kSub);
+  if (s >= kSub) s = kSub - 1;  // guards x == 2^(m+1) rounding
+  return 1 + static_cast<std::size_t>(m) * kSub + s;
 }
 
-double bucket_mid(std::size_t b) {
-  if (b == 0) return 0.5;
-  return 1.5 * std::ldexp(1.0, static_cast<int>(b) - 1);
+double bucket_lo(std::size_t b) {
+  if (b == 0) return 0.0;
+  const std::size_t m = (b - 1) / kSub;
+  const std::size_t s = (b - 1) % kSub;
+  return std::ldexp(1.0 + static_cast<double>(s) / kSub, static_cast<int>(m));
+}
+
+double bucket_hi(std::size_t b) {
+  if (b == 0) return 1.0;
+  const std::size_t m = (b - 1) / kSub;
+  const std::size_t s = (b - 1) % kSub;
+  return std::ldexp(1.0 + static_cast<double>(s + 1) / kSub,
+                    static_cast<int>(m));
 }
 
 }  // namespace
@@ -39,13 +56,24 @@ void HistogramData::record(double x) {
 
 double HistogramData::quantile(double q) const {
   if (count == 0) return 0.0;
-  const auto target =
-      static_cast<std::uint64_t>(q * static_cast<double>(count - 1));
-  std::uint64_t seen = 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Fractional rank into the sorted sample; interpolate linearly inside the
+  // owning sub-bucket (ranks spread evenly across its occupants), then clamp
+  // to the observed range so bucket-0 and top-bucket estimates can never
+  // leave [min_seen, max_seen].
+  const double rank = q * static_cast<double>(count - 1);
+  double seen = 0;
   for (std::size_t b = 0; b < buckets.size(); ++b) {
-    seen += buckets[b];
-    if (seen > target) return bucket_mid(b);
+    const auto n = static_cast<double>(buckets[b]);
+    if (n > 0 && rank < seen + n) {
+      const double frac = (rank - seen + 0.5) / n;
+      const double v = bucket_lo(b) + frac * (bucket_hi(b) - bucket_lo(b));
+      return std::clamp(v, min_seen, max_seen);
+    }
+    seen += n;
   }
+  // Rank beyond the bucket mass (possible after diff() clamping): report the
+  // largest value this histogram has seen.
   return max_seen;
 }
 
@@ -245,6 +273,20 @@ Snapshot MetricsRegistry::snapshot(std::int64_t at_ns) const {
   for (const auto& [name, idx] : hist_index_) {
     s.histograms.emplace(name, hist_cells_[idx]);
   }
+  return s;
+}
+
+Snapshot MetricsRegistry::snapshot_scalars(std::int64_t at_ns) const {
+  Snapshot s;
+  s.at_ns = at_ns;
+  for (const auto& [name, idx] : counter_index_) {
+    s.counters.emplace(name, counter_cells_[idx]);
+  }
+  for (const auto& [name, fn] : counter_fns_) s.counters.emplace(name, fn());
+  for (const auto& [name, idx] : gauge_index_) {
+    s.gauges.emplace(name, gauge_cells_[idx]);
+  }
+  for (const auto& [name, fn] : gauge_fns_) s.gauges.emplace(name, fn());
   return s;
 }
 

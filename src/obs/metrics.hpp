@@ -64,11 +64,17 @@ class Gauge {
   double* cell_ = nullptr;
 };
 
-/// Log2-bucketed distribution data: the registry cell for Histogram handles
-/// and the per-histogram value carried by Snapshots. Same bucketing as the
-/// long-tailed RTT analysis of §6.4.1: bucket 0 is [0,1), bucket b>=1 is
-/// [2^(b-1), 2^b).
+/// HDR-style sub-bucketed distribution data: the registry cell for Histogram
+/// handles and the per-histogram value carried by Snapshots. Bucket 0 is
+/// [0,1) (and catches anything below 1, including negatives); above that,
+/// every power-of-two decade [2^m, 2^(m+1)) is split into kSubBuckets
+/// linear sub-buckets of width 2^m/kSubBuckets. Worst-case relative error
+/// of a within-bucket estimate is 1/(2*kSubBuckets) ≈ 1.6%, uniformly at
+/// every quantile — the bound that makes Sampler's p99/p99.9 columns
+/// trustworthy (the old pure-log2 buckets were ±50% at the tail).
 struct HistogramData {
+  static constexpr std::uint32_t kSubBuckets = 32;
+
   std::uint64_t count = 0;
   double sum = 0.0;
   double min_seen = 0.0;  ///< valid iff count > 0
@@ -77,7 +83,9 @@ struct HistogramData {
 
   void record(double x);
   double mean() const { return count ? sum / static_cast<double>(count) : 0; }
-  /// Approximate quantile (q in [0,1]) from bucket midpoints.
+  /// Quantile estimate (q in [0,1]): rank-interpolated within the owning
+  /// sub-bucket and clamped to [min_seen, max_seen]. An empty (or
+  /// diffed-to-zero) histogram returns 0.
   double quantile(double q) const;
 };
 
@@ -156,6 +164,12 @@ class MetricsRegistry {
   /// Samples everything (cells and pull callbacks) at simulated time
   /// `at_ns`.
   Snapshot snapshot(std::int64_t at_ns = 0) const;
+
+  /// Counters and gauges only — no histogram payload. Sub-bucketed
+  /// histograms carry hundreds of buckets, so copying them dominates a
+  /// full snapshot; high-frequency pollers whose rules are scalar-based
+  /// (the Watchdog checks every watch window) use this instead.
+  Snapshot snapshot_scalars(std::int64_t at_ns = 0) const;
 
   std::size_t size() const {
     return counter_index_.size() + gauge_index_.size() + hist_index_.size() +

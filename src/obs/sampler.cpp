@@ -34,6 +34,9 @@ void Sampler::sample(std::int64_t now_ns) {
     if (!admits(name)) continue;
     row.cells[name + ".count"] = static_cast<double>(h.count);
     row.cells[name + ".mean"] = h.mean();
+    row.cells[name + ".p50"] = h.quantile(0.50);
+    row.cells[name + ".p99"] = h.quantile(0.99);
+    row.cells[name + ".p999"] = h.quantile(0.999);
   }
   rows_.push_back(std::move(row));
   last_ = std::move(snap);

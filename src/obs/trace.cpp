@@ -47,6 +47,16 @@ void append_us(std::string& out, std::int64_t ns) {
 
 }  // namespace
 
+void Tracer::push(TraceEvent e) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(e));
+    return;
+  }
+  ring_[head_] = std::move(e);
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
 void Tracer::instant(const char* cat, std::string name, int pid, int tid,
                      Args args) {
   if (!enabled_) return;
@@ -58,7 +68,7 @@ void Tracer::instant(const char* cat, std::string name, int pid, int tid,
   e.cat = cat;
   e.name = std::move(name);
   e.args.assign(args.begin(), args.end());
-  events_.push_back(std::move(e));
+  push(std::move(e));
 }
 
 void Tracer::complete(const char* cat, std::string name, std::int64_t start_ns,
@@ -74,7 +84,7 @@ void Tracer::complete(const char* cat, std::string name, std::int64_t start_ns,
   e.cat = cat;
   e.name = std::move(name);
   e.args.assign(args.begin(), args.end());
-  events_.push_back(std::move(e));
+  push(std::move(e));
 }
 
 void Tracer::set_process_name(int pid, std::string name) {
@@ -85,14 +95,42 @@ void Tracer::set_thread_name(int pid, int tid, std::string name) {
   meta_.push_back({pid, tid, true, std::move(name)});
 }
 
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for_each_event([&](const TraceEvent& e) { out.push_back(e); });
+  return out;
+}
+
+void Tracer::set_capacity(std::size_t cap) {
+  if (cap == 0) cap = 1;
+  // Linearize if the ring has wrapped (so future pushes append after the
+  // newest event) and trim to the newest `cap` events when shrinking; the
+  // discarded oldest count as dropped.
+  if (ring_.size() > cap || head_ != 0) {
+    const std::size_t n = ring_.size();
+    const std::size_t kept = n < cap ? n : cap;
+    std::vector<TraceEvent> keep;
+    keep.reserve(kept);
+    for (std::size_t i = n - kept; i < n; ++i) {
+      keep.push_back(std::move(ring_[(head_ + i) % n]));
+    }
+    dropped_ += n - kept;
+    ring_ = std::move(keep);
+    head_ = 0;
+  }
+  capacity_ = cap;
+}
+
 void Tracer::clear() {
-  events_.clear();
+  ring_.clear();
+  head_ = 0;
   meta_.clear();
 }
 
 std::string Tracer::chrome_trace_json() const {
   std::string out;
-  out.reserve(events_.size() * 96 + 64);
+  out.reserve(ring_.size() * 96 + 64);
   out += "{\"traceEvents\":[";
   bool first = true;
   char buf[64];
@@ -108,7 +146,7 @@ std::string Tracer::chrome_trace_json() const {
     append_escaped(out, m.name);
     out += "\"}}";
   }
-  for (const TraceEvent& e : events_) {
+  for_each_event([&](const TraceEvent& e) {
     if (!first) out += ',';
     first = false;
     out += "{\"ph\":\"";
@@ -140,7 +178,7 @@ std::string Tracer::chrome_trace_json() const {
       out += '}';
     }
     out += '}';
-  }
+  });
   out += "],\"displayTimeUnit\":\"ns\"}";
   return out;
 }

@@ -34,10 +34,17 @@ struct TraceEvent {
   std::vector<TraceArg> args;
 };
 
+/// Event storage is a bounded ring (overwrite-oldest): long chaos campaigns
+/// with tracing left on keep the most recent `capacity()` events instead of
+/// growing without limit, and every overwritten event bumps dropped() —
+/// exported by sim::Engine as the `obs.trace.dropped` counter.
 class Tracer {
  public:
   using Clock = std::function<std::int64_t()>;
   using Args = std::initializer_list<TraceArg>;
+
+  /// Default ring capacity; ~64k events is minutes of NIC-level tracing.
+  static constexpr std::size_t kDefaultCapacity = 1u << 16;
 
   Tracer() = default;
   Tracer(const Tracer&) = delete;
@@ -62,7 +69,15 @@ class Tracer {
   void set_process_name(int pid, std::string name);
   void set_thread_name(int pid, int tid, std::string name);
 
-  const std::vector<TraceEvent>& events() const { return events_; }
+  /// Retained events in chronological (recording) order. Materializes a
+  /// copy: the ring's physical layout wraps once it has overwritten.
+  std::vector<TraceEvent> events() const;
+  std::size_t capacity() const { return capacity_; }
+  /// Shrinks or grows the ring; shrinking discards the oldest retained
+  /// events (counted as dropped).
+  void set_capacity(std::size_t cap);
+  /// Lifetime count of events overwritten by the ring (survives clear()).
+  std::uint64_t dropped() const { return dropped_; }
   void clear();
 
   /// Chrome trace_event JSON ("traceEvents" array form, ts/dur in us).
@@ -77,9 +92,21 @@ class Tracer {
     std::string name;
   };
 
+  void push(TraceEvent e);
+  template <typename Fn>
+  void for_each_event(Fn&& fn) const {
+    const std::size_t n = ring_.size();
+    for (std::size_t i = 0; i < n; ++i) fn(ring_[(head_ + i) % n]);
+  }
+
   bool enabled_ = false;
   Clock clock_;
-  std::vector<TraceEvent> events_;
+  // Bounded ring: fills linearly to capacity_, then head_ marks the oldest
+  // slot and each push overwrites it.
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::uint64_t dropped_ = 0;
   std::vector<Meta> meta_;
 };
 

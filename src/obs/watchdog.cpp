@@ -29,7 +29,9 @@ void Watchdog::fire(std::int64_t now_ns, const char* rule,
 }
 
 void Watchdog::check(std::int64_t now_ns) {
-  Snapshot snap = reg_->snapshot(now_ns);
+  // Every watchdog rule is scalar-based; skipping the histogram payload
+  // keeps the per-window check cheap now that histograms are sub-bucketed.
+  Snapshot snap = reg_->snapshot_scalars(now_ns);
   if (!have_base_) {
     last_ = std::move(snap);
     have_base_ = true;

@@ -7,6 +7,7 @@
 
 #include "obs/attr.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
@@ -52,6 +53,10 @@ class Engine {
     metrics_.gauge_fn("sim.queue.slots", [this] {
       return static_cast<double>(queue_.slot_capacity());
     });
+    // Bounded trace-ring health: a growing dropped counter means the ring
+    // wrapped and the oldest events were overwritten.
+    metrics_.counter_fn("obs.trace.dropped",
+                        [this] { return tracer_.dropped(); });
   }
 
   Engine(const Engine&) = delete;
@@ -159,6 +164,13 @@ class Engine {
   /// attr().set_sample_interval(n) turns tracking on.
   obs::AttrRecorder& attr() { return attr_; }
 
+  /// Per-message causal span recorder (see obs/span.hpp). Disabled by
+  /// default; the same stamp sites that feed attr() also feed this, at the
+  /// cost of one branch each until spans().set_sample_interval(n) turns
+  /// tracking on.
+  obs::SpanRecorder& spans() { return spans_; }
+  const obs::SpanRecorder& spans() const { return spans_; }
+
   std::size_t pending_events() const { return queue_.size(); }
   std::size_t live_processes() const { return processes_.size(); }
   std::uint64_t events_processed() const { return events_processed_; }
@@ -193,6 +205,7 @@ class Engine {
   Rng rng_;
   obs::MetricsRegistry metrics_;
   obs::AttrRecorder attr_{metrics_};
+  obs::SpanRecorder spans_{metrics_};
   obs::Tracer tracer_;
   std::unordered_set<void*> processes_;
   std::uint64_t events_processed_ = 0;

@@ -174,10 +174,14 @@ TEST(Sampler, CsvGoldenWithPrefixFilterAndWindowDeltas) {
   h.record(40);
   s.sample(3500);
 
+  // Histograms additionally export sketch quantiles of each window's delta:
+  // window 1 holds {10, 20} (p50 interpolates inside 10's sub-bucket), and
+  // window 2 holds the single sample {40} (all quantiles clamp to it).
   EXPECT_EQ(s.csv(),
-            "window_end_ns,window_ns,x.c,x.g,x.h.count,x.h.mean\n"
-            "2000,1000,5,2.5,2,15\n"
-            "3500,1500,1,-1,1,40\n");
+            "window_end_ns,window_ns,x.c,x.g,x.h.count,x.h.mean"
+            ",x.h.p50,x.h.p99,x.h.p999\n"
+            "2000,1000,5,2.5,2,15,10.25,10.3725,10.37475\n"
+            "3500,1500,1,-1,1,40,40,40,40\n");
 }
 
 TEST(Sampler, EmptyPrefixListExportsEverything) {

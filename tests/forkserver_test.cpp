@@ -164,6 +164,49 @@ TEST(ForkServer, MatrixHoldsWithDoorbellCoalescingOn) {
   }
 }
 
+// A child whose stall watchdog fires must carry the stall report across
+// the fork boundary: the events ride the canonical-JSON verdict over the
+// result pipe, so the parent (and CI, which uploads the same bytes) sees
+// which component stalled and when, not just a pass/fail bit.
+TEST(ForkServer, ChildWatchdogStallCrossesTheForkBoundary) {
+  if (!fork_available()) GTEST_SKIP() << "no fork() on this platform";
+  ScenarioSpec s;
+  s.name = "watchdog_trunk_outage";
+  s.seed = 1;
+  s.fat_tree = true;  // leaf 0 holds controller+server, leaf 1+ the clients
+  s.clients = 2;
+  s.requests_per_client = 20;
+  s.plan = [](cluster::Cluster&, sim::Rng&) {
+    return FaultPlan{}
+        .trunk_flap(1 * sim::ms, 0, 0, 6 * sim::ms)
+        .trunk_flap(1 * sim::ms, 0, 1, 6 * sim::ms);
+  };
+
+  ForkServer server(s);
+  const ForkOutcome out = server.run_child(server.default_plan());
+  ASSERT_FALSE(out.crashed) << out.detail << "\n" << out.stderr_tail;
+  ASSERT_FALSE(out.result.watchdog_events.empty())
+      << "stall report did not survive the child->parent verdict pipe";
+  bool stall = false;
+  for (const obs::WatchdogEvent& e : out.result.watchdog_events) {
+    if (e.rule == "channel-stall") stall = true;
+  }
+  EXPECT_TRUE(stall);
+  EXPECT_NE(out.result.watchdog_summary.find("channel-stall"),
+            std::string::npos);
+
+  // The verdict's canonical JSON round-trips the stalls losslessly.
+  const json::Value v = verdict_json(out.result);
+  ASSERT_FALSE(v["stalls"].as_array().empty());
+  json::Value reparsed;
+  std::string err;
+  ASSERT_TRUE(json::parse(v.dump(), &reparsed, &err)) << err;
+  const ScenarioResult rt = verdict_from_json(reparsed);
+  ASSERT_EQ(rt.watchdog_events.size(), out.result.watchdog_events.size());
+  EXPECT_EQ(rt.watchdog_events[0].rule, out.result.watchdog_events[0].rule);
+  EXPECT_EQ(rt.watchdog_summary, out.result.watchdog_summary);
+}
+
 TEST(ForkServer, MatrixFinishesInOrderAroundManyCells) {
   if (!fork_available()) GTEST_SKIP() << "no fork() on this platform";
   std::vector<ScenarioSpec> specs;
