@@ -13,6 +13,13 @@
 // Usage: bench_chaos_matrix [--seeds N] [--seed-base S] [--scenario NAME]
 //                           [--jobs J] [--serial] [--json-dir DIR]
 //                           [--verify-digest] [--bisect] [--repro FILE]
+//                           [--shards N]
+//
+// --shards runs every scenario on a sharded cluster (sim/shard.hpp) in
+// force-windows mode on one OS thread: deterministic, fork-compatible, and
+// safe for the scenarios' cross-host shared state. At --shards 1 the
+// windowed scheduler must reproduce the serial engine byte-for-byte — CI
+// diffs the two verdict-JSON trees as the determinism oracle.
 
 #include <cstdio>
 #include <cstdlib>
@@ -50,6 +57,7 @@ int main(int argc, char** argv) {
   bool serial = false;
   bool verify_digest = false;
   bool bisect = false;
+  int shards = 0;  // 0 = untouched (the plain serial engine)
   bench::Args args(
       "Chaos fault-injection matrix through the fork server; deterministic "
       "output for fixed flags.");
@@ -62,7 +70,9 @@ int main(int argc, char** argv) {
       .flag("--verify-digest", &verify_digest,
             "prove forked timelines match straight-through replay digests")
       .flag("--bisect", &bisect, "bisect any invariant break to a minimal repro")
-      .option("--repro", &repro_path, "FILE", "write bisected repro JSON here");
+      .option("--repro", &repro_path, "FILE", "write bisected repro JSON here")
+      .option("--shards", &shards, "N",
+              "run on N engine shards (windowed scheduler; 1 = oracle)");
   if (!args.parse(argc, argv)) return 2;
 
   if (seeds < 1) {
@@ -92,6 +102,20 @@ int main(int argc, char** argv) {
     for (int s = 0; s < seeds; ++s) {
       specs.push_back(
           chaos::standard_scenario(name, seed_base + std::uint64_t(s)));
+      if (shards >= 1) {
+        // Layer the shard count onto the scenario's own config tweak.
+        // Sequential force-windows mode: scenarios share plain memory
+        // across host threads and must stay fork()-compatible, so the
+        // windowed schedule runs on one OS thread.
+        chaos::ScenarioSpec& spec = specs.back();
+        auto base = spec.tweak;
+        spec.tweak = [base, shards](cluster::ClusterConfig& cfg) {
+          if (base) base(cfg);
+          cfg.shards = shards;
+          cfg.shard_force_windows = true;
+          cfg.shard_threads = false;
+        };
+      }
     }
   }
 

@@ -51,8 +51,17 @@ struct BenchResult {
   // lower is better, and the gate must not normalize it by calib_spin
   // (it measures simulated work, not wall time).
   bool lower_is_better = false;
+  // Higher-is-better value metric exempt from calib_spin normalization
+  // (e.g. a speedup ratio measured on one machine).
+  bool raw = false;
   // Per-entry gate tolerance (fraction); < 0 means use the gate's default.
   double tolerance = -1;
+  // Hard lower bound: the gate fails if the value drops below this,
+  // regardless of the baseline. < 0 means no bound.
+  double min_value = -1;
+  // The hard bound only applies on machines with at least this many
+  // hardware threads (a 4-shard speedup needs 4 cores to exist).
+  int min_cores = 0;
 };
 
 struct Bench {
@@ -237,6 +246,61 @@ FullStackCounts full_stack_pass(std::uint32_t span_interval = 0) {
 
 std::uint64_t full_stack_message_rate() { return full_stack_pass().msgs; }
 
+// 1000-host fat-tree request/reply pass for the parallel-simulation
+// entries: 500 client/server pairs spread across the tree, each client
+// firing pipelined requests at a server on a distant leaf, so every shard
+// of a sharded run has live traffic and most links cross shards. The
+// workload keeps all state thread-local to its host coroutines (peers are
+// found via map_raw's static rendezvous — the first endpoint on every host
+// is EpId 1) and is therefore safe on threaded shards. Returns wall
+// seconds of run_to_completion only; cluster construction is excluded.
+double sharded_1k_pass_secs(int shards, bool threads, bool force_windows,
+                            std::uint64_t* msgs_out = nullptr) {
+  cluster::ClusterConfig cfg = cluster::NowConfig(1000);
+  cfg.topology = cluster::ClusterConfig::Topology::kFatTree;
+  cfg.hosts_per_leaf = 8;
+  cfg.spines = 4;
+  cfg.shards = shards;
+  cfg.shard_threads = threads;
+  cfg.shard_force_windows = force_windows;
+  cluster::Cluster cl(cfg);
+
+  constexpr int kPairs = 500;
+  constexpr int kRequests = 20;
+  constexpr std::uint64_t kKey = 0x51000;
+  for (int p = 0; p < kPairs; ++p) {
+    const int server_node = p;        // leaves 0..62
+    const int client_node = 999 - p;  // leaves 124..62 (distant leaf)
+    cl.spawn_thread(server_node, "s", [=](host::HostThread& t) -> sim::Task<> {
+      auto ep = co_await am::Endpoint::create(t, kKey + server_node);
+      int got = 0;
+      ep->set_handler(1, [&got](am::Endpoint&, const am::Message& m) {
+        ++got;
+        m.reply(2, {m.arg(0)});
+      });
+      while (got < kRequests) {
+        if (co_await ep->wait_events_for(t, am::kEventArrivals, 1 * sim::ms)) {
+          co_await ep->poll(t, 32);
+        }
+      }
+      while (ep->credits_in_use() > 0) co_await ep->poll(t, 16);
+    });
+    cl.spawn_thread(client_node, "c", [=](host::HostThread& t) -> sim::Task<> {
+      auto ep = co_await am::Endpoint::create(t, 2 * kKey + client_node);
+      ep->map_raw(0, server_node, /*ep=*/1, kKey + server_node);
+      for (int i = 0; i < kRequests; ++i) co_await ep->request(t, 0, 1, 1);
+      while (ep->credits_in_use() > 0) co_await ep->poll(t, 16);
+    });
+  }
+  const auto t0 = Clock::now();
+  cl.run_to_completion();
+  const double secs = seconds_since(t0);
+  if (msgs_out != nullptr) {
+    *msgs_out = static_cast<std::uint64_t>(kPairs) * kRequests;
+  }
+  return secs;
+}
+
 // Wall-clock pass over a reduced Fig 4 bandwidth sweep (same code path as
 // bench_fig4_bandwidth). Items = simulated events, so the rate reads as
 // engine events/sec on a real workload.
@@ -274,10 +338,13 @@ void write_json(const std::string& path,
                  "\"wall_s\": %.4g, \"items\": %llu",
                  r.name.c_str(), r.unit.c_str(), r.rate, r.wall_s,
                  static_cast<unsigned long long>(r.items));
-    if (r.lower_is_better) {
-      std::fprintf(f, ", \"direction\": \"lower\", \"raw\": true");
-    }
+    if (r.lower_is_better) std::fprintf(f, ", \"direction\": \"lower\"");
+    if (r.lower_is_better || r.raw) std::fprintf(f, ", \"raw\": true");
     if (r.tolerance >= 0) std::fprintf(f, ", \"tolerance\": %g", r.tolerance);
+    if (r.min_value >= 0) {
+      std::fprintf(f, ", \"min\": %g", r.min_value);
+      if (r.min_cores > 0) std::fprintf(f, ", \"min_cores\": %d", r.min_cores);
+    }
     std::fprintf(f, "}%s\n", i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -393,6 +460,76 @@ int main(int argc, char** argv) {
       r.rate = base > 0 ? c.secs / base : 0.0;
       r.lower_is_better = true;
       r.tolerance = c.tolerance;
+      std::printf("%-26s %14.3f %-12s %10s\n", r.name.c_str(), r.rate,
+                  r.unit.c_str(), "-");
+      results.push_back(std::move(r));
+    }
+  }
+  // Parallel simulation (sim/shard.hpp): the same 1000-host fat-tree
+  // request/reply workload timed on the serial engine, on the windowed
+  // scheduler at 1 shard (pure synchronization overhead, no parallelism),
+  // and on 4 threaded shards (the speedup the sharding exists to buy).
+  // Configs are interleaved per round and each takes its min (same
+  // rationale as the span-overhead block above).
+  {
+    const int rounds = quick ? 1 : 2;
+    std::uint64_t msgs = 0;
+    std::vector<double> serial_s, windowed_s, threaded_s;
+    for (int i = 0; i < rounds; ++i) {
+      serial_s.push_back(sharded_1k_pass_secs(1, false, false, &msgs));
+      windowed_s.push_back(sharded_1k_pass_secs(1, false, true));
+      threaded_s.push_back(sharded_1k_pass_secs(4, true, false));
+    }
+    const auto best = [](const std::vector<double>& v) {
+      return *std::min_element(v.begin(), v.end());
+    };
+    const double serial = best(serial_s);
+    const double windowed = best(windowed_s);
+    const double threaded = best(threaded_s);
+
+    // Serial message rate at 1000 hosts: the scaling denominator, single-
+    // threaded and therefore calib_spin-normalizable like any other rate.
+    {
+      BenchResult r;
+      r.name = "sharded_1k_message_rate";
+      r.unit = "msgs/s";
+      r.rate = serial > 0 ? static_cast<double>(msgs) / serial : 0.0;
+      r.wall_s = serial;
+      r.items = msgs;
+      std::printf("%-26s %14.0f %-12s %10.3f\n", r.name.c_str(), r.rate,
+                  r.unit.c_str(), r.wall_s);
+      results.push_back(std::move(r));
+    }
+    // 4-shard speedup over serial on the same workload. Raw (a ratio of
+    // wall times on one machine needs no normalization) and gated by a
+    // hard lower bound of 2.0x wherever >= 4 hardware threads exist; on
+    // smaller machines the bound is waived (the threads would time-slice
+    // one core) and only the baseline comparison applies. The wide
+    // tolerance absorbs the cross-machine variance of a parallelism
+    // measurement; the min is the real gate.
+    {
+      BenchResult r;
+      r.name = "parallel_speedup_4shard";
+      r.unit = "x";
+      r.rate = threaded > 0 ? serial / threaded : 0.0;
+      r.raw = true;
+      r.tolerance = 0.9;
+      r.min_value = 2.0;
+      r.min_cores = 4;
+      std::printf("%-26s %14.3f %-12s %10s\n", r.name.c_str(), r.rate,
+                  r.unit.c_str(), "-");
+      results.push_back(std::move(r));
+    }
+    // Windowed-scheduler tax at shards=1: window bookkeeping and router
+    // drains with zero parallelism to pay for them. Lower is better,
+    // 1.0 = free.
+    {
+      BenchResult r;
+      r.name = "shard_sync_overhead";
+      r.unit = "x";
+      r.rate = serial > 0 ? windowed / serial : 0.0;
+      r.lower_is_better = true;
+      r.tolerance = 0.25;
       std::printf("%-26s %14.3f %-12s %10s\n", r.name.c_str(), r.rate,
                   r.unit.c_str(), "-");
       results.push_back(std::move(r));

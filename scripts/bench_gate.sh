@@ -17,6 +17,12 @@
 # every case the printed ratio is oriented so >1 means improved and
 # <1-TOLERANCE fails.
 #
+# An entry may also carry "min": V, a hard lower bound on the value itself
+# (not relative to the baseline) — parallel_speedup_4shard uses it to
+# demand a >= 2x sharded-engine speedup on any machine with enough cores.
+# "min_cores": N waives the bound on machines with fewer than N hardware
+# threads, where the measurement cannot physically exist.
+#
 # Usage: scripts/bench_gate.sh [--update] [--current PATH] [--quick]
 #   --update        refresh BENCH_engine.json from this machine and exit
 #   --current PATH  where to write the fresh results (default /tmp)
@@ -65,7 +71,7 @@ fi
 
 echo "== comparing against $BASELINE (tolerance ${TOL}) =="
 python3 - "$BASELINE" "$CURRENT" "$TOL" <<'PY'
-import json, sys
+import json, os, sys
 
 baseline_path, current_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
 base = json.load(open(baseline_path))
@@ -109,6 +115,17 @@ for name, be in base_e.items():
         status = "ok (faster; consider --update)"
     else:
         status = "ok"
+    # Hard lower bound on the value itself, independent of the baseline.
+    min_v = be.get("min", ce.get("min"))
+    if min_v is not None:
+        need = int(be.get("min_cores", ce.get("min_cores", 0)))
+        cores = os.cpu_count() or 1
+        if cores < need:
+            status += f" (min {float(min_v):g} waived: {cores} < {need} cores)"
+        elif c < float(min_v):
+            status = f"BELOW MIN {float(min_v):g}"
+            if name not in failed:
+                failed.append(name)
     rows.append((name, b, c, ratio, status))
 
 def fmt(v):

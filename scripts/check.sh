@@ -4,6 +4,7 @@
 #   scripts/check.sh            # all configs serially (local pre-merge)
 #   scripts/check.sh default    # build + full tests + chaos determinism
 #   scripts/check.sh asan       # ASan+UBSan build + full tests + chaos run
+#   scripts/check.sh tsan       # TSan build + sharded tests + sharded chaos
 #   scripts/check.sh notrace    # tracing-compiled-out build + obs tests
 #
 # The compiler comes from the usual CC/CXX environment (the CI matrix sets
@@ -48,6 +49,23 @@ do_asan() {
   ./build-asan/bench/bench_chaos_matrix --seeds 1 >/dev/null
 }
 
+do_tsan() {
+  echo "== configure + build (TSan) =="
+  cmake -B build-tsan -S . -DVNET_SANITIZE=TSAN \
+    ${CMAKE_EXTRA[@]+"${CMAKE_EXTRA[@]}"} >/dev/null
+  cmake --build build-tsan -j "$JOBS"
+
+  echo "== sharded-engine tests (TSan) =="
+  # The Shard* suites exercise the worker-thread scheduler (threaded window
+  # execution, cross-shard routing, the 1000-host smoke run) — the code
+  # paths TSan exists to judge. The rest of the suite is single-threaded by
+  # construction and already covered by the asan/default legs.
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -R "Shard"
+
+  echo "== sharded chaos matrix (TSan) =="
+  ./build-tsan/bench/bench_chaos_matrix --shards 2 --seeds 1 >/dev/null
+}
+
 do_notrace() {
   echo "== configure + build (tracing compiled out) =="
   cmake -B build-notrace -S . -DVNET_TRACING=OFF \
@@ -64,14 +82,16 @@ do_notrace() {
 case "$CONFIG" in
   default) do_default ;;
   asan) do_asan ;;
+  tsan) do_tsan ;;
   notrace) do_notrace ;;
   all)
     do_default
     do_asan
+    do_tsan
     do_notrace
     ;;
   *)
-    echo "usage: $0 [default|asan|notrace|all]" >&2
+    echo "usage: $0 [default|asan|tsan|notrace|all]" >&2
     exit 2
     ;;
 esac

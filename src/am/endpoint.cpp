@@ -319,7 +319,7 @@ sim::Task<> Endpoint::send_common(host::HostThread& t,
       dst = desc.reply_to.node;
     }
     probe_->message_injected(state_->node, state_->id, desc.msg_id, is_request,
-                             dst);
+                             dst, host_->engine().now());
   }
   obs::AttrRecorder& attr = host_->engine().attr();
   obs::SpanRecorder& spans = host_->engine().spans();
@@ -442,7 +442,8 @@ sim::Task<std::size_t> Endpoint::poll(host::HostThread& t, std::size_t max) {
     Message msg(std::move(entry));
     if (probe_ != nullptr && !credit_only) {
       probe_->message_delivered(msg.src_node(), msg.src_ep(), msg.msg_id(),
-                                msg.is_request(), state_->node, state_->id);
+                                msg.is_request(), state_->node, state_->id,
+                                host_->engine().now());
     }
     if (!msg.is_request()) {
       if (outstanding_requests_ > 0) --outstanding_requests_;
@@ -528,7 +529,8 @@ sim::Task<> Endpoint::enqueue_reply_locked(host::HostThread& t,
   const bool tracked_kind = d.body.handler != kCreditHandler;
   if (probe_ != nullptr && tracked_kind) {
     probe_->message_injected(state_->node, state_->id, d.msg_id,
-                             /*is_request=*/false, d.reply_to.node);
+                             /*is_request=*/false, d.reply_to.node,
+                             host_->engine().now());
   }
   obs::AttrRecorder& attr = host_->engine().attr();
   obs::SpanRecorder& spans = host_->engine().spans();
@@ -580,7 +582,8 @@ void Endpoint::on_returned(lanai::SendDescriptor d, lanai::NackReason r) {
   // replies are untracked at injection, so skip them here too.
   if (probe_ != nullptr && state_ != nullptr &&
       (d.body.is_request || d.body.handler != kCreditHandler)) {
-    probe_->message_returned(state_->node, state_->id, d.msg_id, r);
+    probe_->message_returned(state_->node, state_->id, d.msg_id, r,
+                             host_->engine().now());
   }
   if (state_ != nullptr && host_->engine().attr().enabled()) {
     // A returned message never reaches a handler; forget its flight.

@@ -4,6 +4,7 @@
 
 #include "lanai/endpoint_state.hpp"
 #include "lanai/frame.hpp"
+#include "sim/time.hpp"
 
 namespace vnet::am {
 
@@ -27,19 +28,27 @@ using myrinet::NodeId;
 /// Messages are keyed by (src_node, src_ep, msg_id); msg_id is unique per
 /// source endpoint. The chaos DeliveryLedger implements this to check
 /// exactly-once delivery and delivered-or-returned under fault campaigns.
+///
+/// `at` is the simulated time of the event on the reporting endpoint's
+/// engine. It is a parameter (rather than something the probe reads off a
+/// global engine) because under sharded simulation (sim/shard.hpp) events
+/// arrive from several engines whose clocks differ within a lookahead
+/// window; implementations must tolerate concurrent calls when the cluster
+/// runs threaded shards.
 class MessageProbe {
  public:
   virtual ~MessageProbe() = default;
 
   virtual void message_injected(NodeId src_node, EpId src_ep,
                                 std::uint64_t msg_id, bool is_request,
-                                NodeId dst_node) = 0;
+                                NodeId dst_node, sim::Time at) = 0;
   virtual void message_delivered(NodeId src_node, EpId src_ep,
                                  std::uint64_t msg_id, bool is_request,
-                                 NodeId at_node, EpId at_ep) = 0;
+                                 NodeId at_node, EpId at_ep,
+                                 sim::Time at) = 0;
   virtual void message_returned(NodeId src_node, EpId src_ep,
                                 std::uint64_t msg_id,
-                                lanai::NackReason reason) = 0;
+                                lanai::NackReason reason, sim::Time at) = 0;
 };
 
 }  // namespace vnet::am

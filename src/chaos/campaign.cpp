@@ -66,7 +66,7 @@ void Campaign::apply(const FaultAction& a) {
         p->message_delivered(
             static_cast<myrinet::NodeId>(a.node < 0 ? 0 : a.node),
             /*src_ep=*/0xFFFF, /*msg_id=*/0xB0150DULL, /*is_request=*/true,
-            /*at_node=*/0, /*at_ep=*/0);
+            /*at_node=*/0, /*at_ep=*/0, cluster_->engine().now());
       }
       break;
   }

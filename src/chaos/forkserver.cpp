@@ -1,8 +1,12 @@
 #include "chaos/forkserver.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
+
+#include "sim/shard.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define VNET_HAVE_FORK 1
@@ -116,6 +120,20 @@ ForkServer::Child ForkServer::start(const FaultPlan& plan) {
   int fds[2];
   if (::pipe(fds) != 0) return child;
   std::FILE* err = std::tmpfile();
+
+  // Fork-before-threads ordering (DESIGN.md §13): fork() duplicates only
+  // the calling thread, so a live shard worker would leave the child with
+  // a barrier nobody else ever reaches. The warmed scenario must have been
+  // built with shard_threads = false (ScenarioRun::warm always runs
+  // single-threaded windows, but a caller could have run the cluster
+  // threaded first) — refuse to fork a multi-threaded process.
+  if (sim::ShardGroup::live_workers() != 0) {
+    std::fprintf(stderr,
+                 "ForkServer: %d shard worker thread(s) alive at fork(); "
+                 "run the warmup with shard_threads=false\n",
+                 sim::ShardGroup::live_workers());
+    std::abort();
+  }
 
   // Flush before fork: buffered bytes would otherwise be written twice,
   // once by each process.

@@ -17,25 +17,31 @@ std::string key_str(NodeId node, EpId ep, std::uint64_t msg_id) {
 
 void DeliveryLedger::message_injected(NodeId src_node, EpId src_ep,
                                       std::uint64_t msg_id, bool is_request,
-                                      NodeId dst_node) {
+                                      NodeId dst_node, sim::Time at) {
+  std::lock_guard<std::mutex> lock(mu_);
   Record& r = records_[{src_node, src_ep, msg_id}];
   r.is_request = is_request;
   r.dst_node = dst_node;
-  r.injected_at = engine_->now();
+  r.injected_at = at;
   ++unresolved_;
 }
 
-void DeliveryLedger::mark_terminal(Record& r) {
+void DeliveryLedger::mark_terminal(Record& r, sim::Time at) {
   if (r.delivered + r.returned == 1) {  // first terminal event
-    r.resolved_at = engine_->now();
-    last_terminal_time_ = engine_->now();
+    r.resolved_at = at;
     if (unresolved_ > 0) --unresolved_;
+  } else if (at < r.resolved_at) {
+    // Terminal events from different shards may arrive out of time order;
+    // keep the earliest so the aggregate is arrival-order independent.
+    r.resolved_at = at;
   }
 }
 
 void DeliveryLedger::message_delivered(NodeId src_node, EpId src_ep,
                                        std::uint64_t msg_id, bool /*is_req*/,
-                                       NodeId at_node, EpId at_ep) {
+                                       NodeId at_node, EpId at_ep,
+                                       sim::Time at) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = records_.find({src_node, src_ep, msg_id});
   if (it == records_.end()) {
     ++orphan_events_;
@@ -48,12 +54,14 @@ void DeliveryLedger::message_delivered(NodeId src_node, EpId src_ep,
     return;
   }
   ++it->second.delivered;
-  mark_terminal(it->second);
+  mark_terminal(it->second, at);
 }
 
 void DeliveryLedger::message_returned(NodeId src_node, EpId src_ep,
                                       std::uint64_t msg_id,
-                                      lanai::NackReason /*reason*/) {
+                                      lanai::NackReason /*reason*/,
+                                      sim::Time at) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = records_.find({src_node, src_ep, msg_id});
   if (it == records_.end()) {
     ++orphan_events_;
@@ -64,10 +72,20 @@ void DeliveryLedger::message_returned(NodeId src_node, EpId src_ep,
     return;
   }
   ++it->second.returned;
-  mark_terminal(it->second);
+  mark_terminal(it->second, at);
+}
+
+sim::Time DeliveryLedger::last_terminal_time() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  sim::Time t = 0;
+  for (const auto& [key, r] : records_) {
+    if (r.resolved_at > t) t = r.resolved_at;
+  }
+  return t;
 }
 
 DeliveryLedger::Counts DeliveryLedger::counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
   Counts c;
   c.injected = records_.size();
   c.unresolved = unresolved_;
@@ -84,6 +102,7 @@ DeliveryLedger::Counts DeliveryLedger::counts() const {
 }
 
 std::vector<std::string> DeliveryLedger::violations() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
   for (const auto& [key, r] : records_) {
     const auto& [node, ep, msg_id] = key;

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -29,18 +30,27 @@ using myrinet::NodeId;
 ///    counted separately, not flagged.
 ///
 /// Install with am::Endpoint::set_probe (see ProbeGuard).
+///
+/// Thread-safe: probe events may arrive concurrently from shard workers
+/// (sim/shard.hpp), so every mutation takes an internal mutex, and the
+/// aggregates are defined order-independently — resolved_at is the *minimum*
+/// terminal-event time per message, and last_terminal_time() the maximum
+/// resolved_at over all messages. On a serial run terminal events arrive in
+/// time order, so both definitions coincide with the historical "first /
+/// most recent event" readings exactly.
 class DeliveryLedger : public am::MessageProbe {
  public:
-  explicit DeliveryLedger(sim::Engine& engine) : engine_(&engine) {}
+  DeliveryLedger() = default;
 
   // --- am::MessageProbe ---
   void message_injected(NodeId src_node, EpId src_ep, std::uint64_t msg_id,
-                        bool is_request, NodeId dst_node) override;
+                        bool is_request, NodeId dst_node,
+                        sim::Time at) override;
   void message_delivered(NodeId src_node, EpId src_ep, std::uint64_t msg_id,
-                         bool is_request, NodeId at_node,
-                         EpId at_ep) override;
+                         bool is_request, NodeId at_node, EpId at_ep,
+                         sim::Time at) override;
   void message_returned(NodeId src_node, EpId src_ep, std::uint64_t msg_id,
-                        lanai::NackReason reason) override;
+                        lanai::NackReason reason, sim::Time at) override;
 
   struct Counts {
     std::uint64_t injected = 0;
@@ -53,11 +63,14 @@ class DeliveryLedger : public am::MessageProbe {
   };
   Counts counts() const;
 
-  std::uint64_t unresolved() const { return unresolved_; }
-  bool fully_resolved() const { return unresolved_ == 0; }
-  /// Engine time of the most recent first-terminal event (delivery or
-  /// return); the campaign's recovery-time measurement.
-  sim::Time last_terminal_time() const { return last_terminal_time_; }
+  std::uint64_t unresolved() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return unresolved_;
+  }
+  bool fully_resolved() const { return unresolved() == 0; }
+  /// Latest per-message resolution instant (delivery or return); the
+  /// campaign's recovery-time measurement.
+  sim::Time last_terminal_time() const;
 
   /// Invariant violations: duplicates, unresolved (silently lost)
   /// messages, and orphan events. Empty on a correct transport once the
@@ -75,14 +88,13 @@ class DeliveryLedger : public am::MessageProbe {
   };
   using Key = std::tuple<NodeId, EpId, std::uint64_t>;
 
-  void mark_terminal(Record& r);
+  void mark_terminal(Record& r, sim::Time at);
 
-  sim::Engine* engine_;
+  mutable std::mutex mu_;
   std::map<Key, Record> records_;
   std::uint64_t unresolved_ = 0;
   std::uint64_t orphan_events_ = 0;
   std::vector<std::string> orphans_;
-  sim::Time last_terminal_time_ = 0;
 };
 
 /// RAII installer for the process-wide endpoint probe.

@@ -64,7 +64,6 @@ struct ScenarioRun::Impl {
       : spec(s),
         cfg(make_config(s)),
         cluster(cfg),
-        ledger(cluster.engine()),
         probe_guard(&ledger),
         plan_rng(cluster.engine().rng().split()),
         plan(s.plan ? s.plan(cluster, plan_rng) : FaultPlan{}) {
@@ -253,11 +252,11 @@ struct ScenarioRun::Impl {
     campaign = std::make_unique<Campaign>(cluster, run_plan);
     campaign->start();
     cluster.run_to_completion();
-    const sim::Time done_at = cluster.engine().now();
+    const sim::Time done_at = cluster.now();
     // Drain trailing transport events (retransmit / unreachable timers are
-    // all bounded, so the queue empties) so every message reaches a
+    // all bounded, so the queues empty) so every message reaches a
     // terminal state before the ledger is judged.
-    cluster.engine().run();
+    cluster.drain();
 
     ScenarioResult res;
     res.name = spec.name;
@@ -284,7 +283,7 @@ struct ScenarioRun::Impl {
     res.reissued = sh.reissued;
     res.unfinished = sh.unfinished;
 
-    const obs::Snapshot snap = cluster.engine().snapshot();
+    const obs::Snapshot snap = cluster.merged_snapshot();
     res.retransmissions = snap.sum_counters("host.", ".nic.retransmissions");
     res.timeouts = snap.sum_counters("host.", ".nic.timeouts");
     res.channel_unbinds = snap.sum_counters("host.", ".nic.channel_unbinds");
@@ -304,8 +303,8 @@ struct ScenarioRun::Impl {
     res.link_stats = obs::render_table(snap, "fabric.link");
     res.watchdog_events = watchdog->events();
     res.watchdog_summary = watchdog->render_summary();
-    res.replay_digest = cluster.engine().replay_digest();
-    res.events_processed = cluster.engine().events_processed();
+    res.replay_digest = cluster.replay_digest();
+    res.events_processed = cluster.events_processed();
     return res;
   }
 
@@ -342,7 +341,7 @@ sim::Time ScenarioRun::checkpoint_for(const FaultPlan& plan) const {
 }
 
 void ScenarioRun::warm(sim::Time t) {
-  if (t > 0) impl_->cluster.engine().run_until(t);
+  if (t > 0) impl_->cluster.run_until(t);
 }
 
 ScenarioResult ScenarioRun::finish(const FaultPlan& plan) {

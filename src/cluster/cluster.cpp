@@ -3,22 +3,28 @@
 namespace vnet::cluster {
 
 Cluster::Cluster(const ClusterConfig& config)
-    : config_(config), engine_(config.seed) {
+    : config_(config),
+      group_(config.shards, config.seed, config.fabric.link.propagation) {
+  group_.set_threaded(config_.shard_threads);
+  group_.set_force_windows(config_.shard_force_windows);
   switch (config_.topology) {
     case ClusterConfig::Topology::kCrossbar:
-      fabric_ = myrinet::Fabric::crossbar(engine_, config_.nodes,
+      fabric_ = myrinet::Fabric::crossbar(group_, config_.nodes,
                                           config_.fabric);
       break;
     case ClusterConfig::Topology::kFatTree:
-      fabric_ = myrinet::Fabric::fat_tree(engine_, config_.nodes,
+      fabric_ = myrinet::Fabric::fat_tree(group_, config_.nodes,
                                           config_.hosts_per_leaf,
                                           config_.spines, config_.fabric);
       break;
   }
   hosts_.reserve(static_cast<std::size_t>(config_.nodes));
   for (int n = 0; n < config_.nodes; ++n) {
+    // Each host lives on its station's shard, so NIC <-> station traffic
+    // stays engine-local; only the fabric's split links cross shards.
     hosts_.push_back(std::make_unique<host::Host>(
-        engine_, *fabric_, n, config_.host, config_.nic));
+        group_.engine(fabric_->host_shard(n)), *fabric_, n, config_.host,
+        config_.nic));
     hosts_.back()->start();
   }
 }
@@ -27,19 +33,22 @@ sim::Process Cluster::thread_wrapper(host::Host& h, std::string name,
                                      ThreadBody body) {
   host::HostThread t(h, std::move(name));
   co_await body(t);
-  ++completed_;
+  completed_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 void Cluster::spawn_thread(int node, std::string name, ThreadBody body) {
-  ++spawned_;
-  engine_.spawn(thread_wrapper(host(node), std::move(name), std::move(body)));
+  spawned_.fetch_add(1, std::memory_order_acq_rel);
+  host::Host& h = host(node);
+  group_.engine(fabric_->host_shard(node))
+      .spawn(thread_wrapper(h, std::move(name), std::move(body)));
 }
 
 sim::Duration Cluster::run_to_completion() {
-  const sim::Time t0 = engine_.now();
-  while (!all_threads_done() && engine_.step()) {
-  }
-  return engine_.now() - t0;
+  const sim::Time t0 = group_.max_now();
+  group_.run_to_completion([this] { return all_threads_done(); });
+  return group_.max_now() - t0;
 }
+
+void Cluster::drain() { group_.run_to_completion(); }
 
 }  // namespace vnet::cluster

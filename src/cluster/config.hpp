@@ -22,6 +22,19 @@ struct ClusterConfig {
   host::HostConfig host;
   std::uint64_t seed = 1;
 
+  /// Engine shards for parallel simulation (sim/shard.hpp). 1 = the serial
+  /// engine, byte-identical to the pre-shard code path. N > 1 partitions
+  /// the fabric by host / fat-tree subtree across N engines synchronized
+  /// with conservative lookahead = the link propagation delay.
+  int shards = 1;
+  /// One worker thread per shard (default). False executes the same window
+  /// schedule on the calling thread — required for fork()-based tooling
+  /// and for workloads sharing plain memory across host threads.
+  bool shard_threads = true;
+  /// Forces the windowed scheduler even at shards == 1 (the determinism
+  /// oracle: windowed output must match the serial engine exactly).
+  bool shard_force_windows = false;
+
   /// Relative processor speed vs the NOW's 167 MHz UltraSPARC-1; used by
   /// the application kernels to scale compute phases (the SP-2's P2SC and
   /// the Origin's R10000 are roughly 2.5x faster, which is exactly why

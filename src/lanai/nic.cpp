@@ -25,7 +25,10 @@ struct FrameFreeList {
 };
 
 FrameFreeList& frame_free_list() {
-  static FrameFreeList list;
+  // thread_local: each shard worker (sim/shard.hpp) recycles frames
+  // privately. Cross-thread alloc/free pairs migrate storage between
+  // lists, which is safe — both paths bottom out in global new/delete.
+  static thread_local FrameFreeList list;
   return list;
 }
 

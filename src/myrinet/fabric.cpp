@@ -3,65 +3,113 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <utility>
 
 namespace vnet::myrinet {
 
-Fabric::~Fabric() { engine_->metrics().remove_fn_prefix("fabric."); }
+namespace {
 
-Channel* Fabric::new_channel(std::string label) {
-  channels_.push_back(std::make_unique<Channel>(*engine_, params_.link));
-  const std::string prefix = "fabric.link." + label;
-  channel_labels_.push_back(std::move(label));
-  Channel* c = channels_.back().get();
-  // Channels keep their own tally members (the hot path stays handle-free);
-  // the registry samples them lazily at snapshot time.
-  obs::MetricsRegistry& reg = engine_->metrics();
-  reg.counter_fn(prefix + ".packets_tx", [c] { return c->packets_sent(); });
-  reg.counter_fn(prefix + ".bytes_tx", [c] { return c->bytes_sent(); });
-  reg.counter_fn(prefix + ".drops_down", [c] { return c->dropped_down(); });
-  reg.counter_fn(prefix + ".drops_fault", [c] { return c->dropped_fault(); });
-  install_fault_filter(c);
-  return c;
+std::vector<sim::Engine*> engines_of(sim::ShardGroup& group) {
+  std::vector<sim::Engine*> v;
+  v.reserve(static_cast<std::size_t>(group.size()));
+  for (int s = 0; s < group.size(); ++s) v.push_back(&group.engine(s));
+  return v;
 }
 
-void Fabric::register_metrics() {
-  obs::MetricsRegistry& reg = engine_->metrics();
-  reg.counter_fn("fabric.injected_drops", [this] { return injected_drops_; });
-  reg.counter_fn("fabric.injected_corruptions",
-                 [this] { return injected_corruptions_; });
-  for (std::size_t i = 0; i < switches_.size(); ++i) {
-    Switch* sw = switches_[i].get();
-    reg.gauge_fn("fabric.switch." + std::to_string(i) + ".queue_watermark",
-                 [sw] { return static_cast<double>(sw->high_watermark()); });
+}  // namespace
+
+Fabric::Fabric(std::vector<sim::Engine*> engines, sim::ShardRouter* router,
+               const FabricParams& params)
+    : engines_(std::move(engines)), router_(router), params_(params) {
+  for (std::size_t s = 0; s < engines_.size(); ++s) {
+    // Shard 0 keeps fault_seed verbatim (serial identity); the others get
+    // cheap odd-multiplier derivations so no two shards share a stream.
+    fault_states_.emplace_back(
+        s == 0 ? params.faults.fault_seed
+               : params.faults.fault_seed ^ (0x9e3779b97f4a7c15ULL * s),
+        params.faults);
   }
 }
 
-void Fabric::install_fault_filter(Channel* c) {
+Fabric::~Fabric() {
+  for (sim::Engine* e : engines_) e->metrics().remove_fn_prefix("fabric.");
+}
+
+Fabric::Link Fabric::new_channel(std::string label, int tx_shard,
+                                 int rx_shard) {
+  const std::string prefix = "fabric.link." + label;
+  channels_.push_back(std::make_unique<Channel>(
+      *engines_[static_cast<std::size_t>(tx_shard)], params_.link));
+  Channel* tx = channels_.back().get();
+  Channel* rx = tx;
+  if (tx_shard != rx_shard) {
+    // Endpoints on different shards: split the direction into a tx half on
+    // the sender's engine and an rx half on the receiver's, coupled
+    // through the shard router (see Channel's cross-shard contract).
+    channels_.push_back(std::make_unique<Channel>(
+        *engines_[static_cast<std::size_t>(rx_shard)], params_.link));
+    rx = channels_.back().get();
+    tx->make_remote_tx(router_, tx_shard, rx_shard, rx);
+    rx->make_remote_rx(router_, rx_shard, tx_shard, tx);
+    channel_labels_.push_back(label);
+    label += "#rx";  // keep channel_labels_ parallel to channels_
+  }
+  channel_labels_.push_back(std::move(label));
+  ++link_directions_;
+  // Channels keep their own tally members (the hot path stays handle-free);
+  // the registry samples them lazily at snapshot time. All traffic counters
+  // live on the tx half, so only it is registered — on its own engine.
+  obs::MetricsRegistry& reg =
+      engines_[static_cast<std::size_t>(tx_shard)]->metrics();
+  reg.counter_fn(prefix + ".packets_tx", [tx] { return tx->packets_sent(); });
+  reg.counter_fn(prefix + ".bytes_tx", [tx] { return tx->bytes_sent(); });
+  reg.counter_fn(prefix + ".drops_down", [tx] { return tx->dropped_down(); });
+  reg.counter_fn(prefix + ".drops_fault",
+                 [tx] { return tx->dropped_fault(); });
+  install_fault_filter(tx, tx_shard);
+  return {tx, rx};
+}
+
+void Fabric::register_metrics() {
+  obs::MetricsRegistry& reg = engines_[0]->metrics();
+  reg.counter_fn("fabric.injected_drops", [this] { return injected_drops(); });
+  reg.counter_fn("fabric.injected_corruptions",
+                 [this] { return injected_corruptions(); });
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    Switch* sw = switches_[i].get();
+    engines_[static_cast<std::size_t>(switch_shard_[i])]->metrics().gauge_fn(
+        "fabric.switch." + std::to_string(i) + ".queue_watermark",
+        [sw] { return static_cast<double>(sw->high_watermark()); });
+  }
+}
+
+void Fabric::install_fault_filter(Channel* c, int shard) {
   burst_states_.emplace_back();
   BurstState* bs = &burst_states_.back();
-  c->fault_filter = [this, bs](Packet& p) {
-    const FaultParams& f = params_.faults;
+  FaultState* fs = &fault_states_[static_cast<std::size_t>(shard)];
+  c->fault_filter = [bs, fs](Packet& p) {
+    const FaultParams& f = fs->faults;
     if (f.burst.enabled) {
       // Advance the two-state chain once per wire crossing, then apply the
       // new state's loss rate.
       if (bs->bad) {
-        if (fault_rng_.chance(f.burst.p_bad_to_good)) bs->bad = false;
+        if (fs->rng.chance(f.burst.p_bad_to_good)) bs->bad = false;
       } else {
-        if (fault_rng_.chance(f.burst.p_good_to_bad)) bs->bad = true;
+        if (fs->rng.chance(f.burst.p_good_to_bad)) bs->bad = true;
       }
       const double loss = bs->bad ? f.burst.loss_bad : f.burst.loss_good;
-      if (loss > 0.0 && fault_rng_.chance(loss)) {
-        ++injected_drops_;
+      if (loss > 0.0 && fs->rng.chance(loss)) {
+        ++fs->drops;
         return true;
       }
     }
-    if (f.drop_probability > 0.0 && fault_rng_.chance(f.drop_probability)) {
-      ++injected_drops_;
+    if (f.drop_probability > 0.0 && fs->rng.chance(f.drop_probability)) {
+      ++fs->drops;
       return true;
     }
     if (f.corrupt_probability > 0.0 &&
-        fault_rng_.chance(f.corrupt_probability)) {
-      ++injected_corruptions_;
+        fs->rng.chance(f.corrupt_probability)) {
+      ++fs->corruptions;
       p.corrupt = true;
     }
     return false;
@@ -70,25 +118,46 @@ void Fabric::install_fault_filter(Channel* c) {
 
 std::unique_ptr<Fabric> Fabric::crossbar(sim::Engine& engine, int hosts,
                                          const FabricParams& params) {
-  if (hosts < 1) throw std::invalid_argument("crossbar: hosts must be >= 1");
-  auto fabric = std::unique_ptr<Fabric>(new Fabric(engine, params));
-  fabric->topology_ = Topology::kCrossbar;
+  return build_crossbar({&engine}, nullptr, hosts, params);
+}
 
+std::unique_ptr<Fabric> Fabric::crossbar(sim::ShardGroup& group, int hosts,
+                                         const FabricParams& params) {
+  return build_crossbar(engines_of(group),
+                        group.size() > 1 ? &group.router() : nullptr, hosts,
+                        params);
+}
+
+std::unique_ptr<Fabric> Fabric::build_crossbar(
+    std::vector<sim::Engine*> engines, sim::ShardRouter* router, int hosts,
+    const FabricParams& params) {
+  if (hosts < 1) throw std::invalid_argument("crossbar: hosts must be >= 1");
+  auto fabric = std::unique_ptr<Fabric>(
+      new Fabric(std::move(engines), router, params));
+  fabric->topology_ = Topology::kCrossbar;
+  const int shards = fabric->num_shards();
+
+  // The one switch lives on shard 0; hosts spread in contiguous blocks, so
+  // every host<->switch link beyond shard 0's block is a split channel.
   fabric->switches_.push_back(
-      std::make_unique<Switch>(engine, hosts, params.sw));
+      std::make_unique<Switch>(*fabric->engines_[0], hosts, params.sw));
+  fabric->switch_shard_.push_back(0);
   Switch& sw = *fabric->switches_.back();
 
   for (NodeId h = 0; h < hosts; ++h) {
-    fabric->stations_.push_back(std::make_unique<Station>(engine, h));
+    const int hsh = static_cast<int>(static_cast<long>(h) * shards / hosts);
+    fabric->host_shard_.push_back(hsh);
+    fabric->stations_.push_back(std::make_unique<Station>(
+        *fabric->engines_[static_cast<std::size_t>(hsh)], h));
     Station& st = *fabric->stations_.back();
     const std::string hs = std::to_string(h);
-    Channel* up = fabric->new_channel("h" + hs + "->sw");
-    Channel* down = fabric->new_channel("sw->h" + hs);
-    st.attach_tx(up);
-    sw.attach_rx(h, up);
-    sw.attach_tx(h, down);
-    st.attach_rx(down);
-    fabric->host_links_.push_back({up, down});
+    Link up = fabric->new_channel("h" + hs + "->sw", hsh, 0);
+    Link down = fabric->new_channel("sw->h" + hs, 0, hsh);
+    st.attach_tx(up.tx);
+    sw.attach_rx(h, up.rx);
+    sw.attach_tx(h, down.tx);
+    st.attach_rx(down.rx);
+    fabric->host_links_.push_back({up.tx, down.tx});
   }
 
   fabric->register_metrics();
@@ -99,26 +168,55 @@ std::unique_ptr<Fabric> Fabric::crossbar(sim::Engine& engine, int hosts,
 std::unique_ptr<Fabric> Fabric::fat_tree(sim::Engine& engine, int hosts,
                                          int hosts_per_leaf, int spines,
                                          const FabricParams& params) {
+  return build_fat_tree({&engine}, nullptr, hosts, hosts_per_leaf, spines,
+                        params);
+}
+
+std::unique_ptr<Fabric> Fabric::fat_tree(sim::ShardGroup& group, int hosts,
+                                         int hosts_per_leaf, int spines,
+                                         const FabricParams& params) {
+  return build_fat_tree(engines_of(group),
+                        group.size() > 1 ? &group.router() : nullptr, hosts,
+                        hosts_per_leaf, spines, params);
+}
+
+std::unique_ptr<Fabric> Fabric::build_fat_tree(
+    std::vector<sim::Engine*> engines, sim::ShardRouter* router, int hosts,
+    int hosts_per_leaf, int spines, const FabricParams& params) {
   if (hosts < 1 || hosts_per_leaf < 1 || spines < 1) {
     throw std::invalid_argument("fat_tree: all dimensions must be >= 1");
   }
-  auto fabric = std::unique_ptr<Fabric>(new Fabric(engine, params));
+  auto fabric = std::unique_ptr<Fabric>(
+      new Fabric(std::move(engines), router, params));
   fabric->topology_ = Topology::kFatTree;
   fabric->hosts_per_leaf_ = hosts_per_leaf;
   fabric->spines_ = spines;
+  const int shards = fabric->num_shards();
 
   const int leaves = (hosts + hosts_per_leaf - 1) / hosts_per_leaf;
+
+  // Sharding = fat-tree subtrees: a leaf switch and all its hosts share a
+  // shard, so host<->leaf links stay local and only leaf<->spine trunks
+  // cross shards. Spines round-robin so trunk traffic spreads.
+  auto leaf_shard = [&](int l) {
+    return static_cast<int>(static_cast<long>(l) * shards / leaves);
+  };
+  auto spine_shard = [&](int s) { return s % shards; };
 
   // Leaf switch l: ports [0, hosts_per_leaf) to hosts, ports
   // [hosts_per_leaf, hosts_per_leaf + spines) to spines.
   // Spine switch s: port l to leaf l.
   for (int l = 0; l < leaves; ++l) {
     fabric->switches_.push_back(std::make_unique<Switch>(
-        engine, hosts_per_leaf + spines, params.sw));
+        *fabric->engines_[static_cast<std::size_t>(leaf_shard(l))],
+        hosts_per_leaf + spines, params.sw));
+    fabric->switch_shard_.push_back(leaf_shard(l));
   }
   for (int s = 0; s < spines; ++s) {
-    fabric->switches_.push_back(
-        std::make_unique<Switch>(engine, leaves, params.sw));
+    fabric->switches_.push_back(std::make_unique<Switch>(
+        *fabric->engines_[static_cast<std::size_t>(spine_shard(s))], leaves,
+        params.sw));
+    fabric->switch_shard_.push_back(spine_shard(s));
   }
   auto leaf = [&](int l) -> Switch& { return *fabric->switches_[l]; };
   auto spine = [&](int s) -> Switch& {
@@ -126,32 +224,37 @@ std::unique_ptr<Fabric> Fabric::fat_tree(sim::Engine& engine, int hosts,
   };
 
   for (NodeId h = 0; h < hosts; ++h) {
-    fabric->stations_.push_back(std::make_unique<Station>(engine, h));
-    Station& st = *fabric->stations_.back();
     const int l = h / hosts_per_leaf;
+    const int hsh = leaf_shard(l);
+    fabric->host_shard_.push_back(hsh);
+    fabric->stations_.push_back(std::make_unique<Station>(
+        *fabric->engines_[static_cast<std::size_t>(hsh)], h));
+    Station& st = *fabric->stations_.back();
     const int port = h % hosts_per_leaf;
     const std::string hs = std::to_string(h);
     const std::string ls = std::to_string(l);
-    Channel* up = fabric->new_channel("h" + hs + "->leaf" + ls);
-    Channel* down = fabric->new_channel("leaf" + ls + "->h" + hs);
-    st.attach_tx(up);
-    leaf(l).attach_rx(port, up);
-    leaf(l).attach_tx(port, down);
-    st.attach_rx(down);
-    fabric->host_links_.push_back({up, down});
+    Link up = fabric->new_channel("h" + hs + "->leaf" + ls, hsh, hsh);
+    Link down = fabric->new_channel("leaf" + ls + "->h" + hs, hsh, hsh);
+    st.attach_tx(up.tx);
+    leaf(l).attach_rx(port, up.rx);
+    leaf(l).attach_tx(port, down.tx);
+    st.attach_rx(down.rx);
+    fabric->host_links_.push_back({up.tx, down.tx});
   }
 
   for (int l = 0; l < leaves; ++l) {
     for (int s = 0; s < spines; ++s) {
       const std::string ls = std::to_string(l);
       const std::string ss = std::to_string(s);
-      Channel* up = fabric->new_channel("leaf" + ls + "->spine" + ss);
-      Channel* down = fabric->new_channel("spine" + ss + "->leaf" + ls);
-      leaf(l).attach_tx(hosts_per_leaf + s, up);
-      spine(s).attach_rx(l, up);
-      spine(s).attach_tx(l, down);
-      leaf(l).attach_rx(hosts_per_leaf + s, down);
-      fabric->trunks_.push_back({l, s, up, down});
+      Link up = fabric->new_channel("leaf" + ls + "->spine" + ss,
+                                    leaf_shard(l), spine_shard(s));
+      Link down = fabric->new_channel("spine" + ss + "->leaf" + ls,
+                                      spine_shard(s), leaf_shard(l));
+      leaf(l).attach_tx(hosts_per_leaf + s, up.tx);
+      spine(s).attach_rx(l, up.rx);
+      spine(s).attach_tx(l, down.tx);
+      leaf(l).attach_rx(hosts_per_leaf + s, down.rx);
+      fabric->trunks_.push_back({l, s, up.tx, down.tx});
     }
   }
 

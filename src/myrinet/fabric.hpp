@@ -12,6 +12,7 @@
 #include "myrinet/switch.hpp"
 #include "sim/engine.hpp"
 #include "sim/random.hpp"
+#include "sim/shard.hpp"
 
 namespace vnet::myrinet {
 
@@ -66,12 +67,28 @@ struct FabricParams {
 ///    25 switches / 185 links, with `spines` distinct paths between any two
 ///    hosts on different leaves (used by the transport's logical channels
 ///    for multi-path routing, §5.1).
+/// Sharded construction (sim/shard.hpp): the ShardGroup overloads place
+/// each device on one shard's engine — crossbar: switch on shard 0, host h
+/// on shard h*N/hosts; fat-tree: leaf l (and its hosts) on shard
+/// l*N/leaves, spine s on shard s%N — and split every link direction whose
+/// endpoints land on different shards into router-coupled tx/rx halves
+/// (see Channel). Fault injection state (RNG, rates, burst chains) is
+/// per-shard, so no two workers ever share a mutable fabric member. With a
+/// 1-shard group the construction order, seeds, and wiring are identical
+/// to the single-engine overloads byte for byte.
 class Fabric {
  public:
   static std::unique_ptr<Fabric> crossbar(sim::Engine& engine, int hosts,
                                           const FabricParams& params = {});
 
+  static std::unique_ptr<Fabric> crossbar(sim::ShardGroup& group, int hosts,
+                                          const FabricParams& params = {});
+
   static std::unique_ptr<Fabric> fat_tree(sim::Engine& engine, int hosts,
+                                          int hosts_per_leaf, int spines,
+                                          const FabricParams& params = {});
+
+  static std::unique_ptr<Fabric> fat_tree(sim::ShardGroup& group, int hosts,
                                           int hosts_per_leaf, int spines,
                                           const FabricParams& params = {});
 
@@ -84,7 +101,13 @@ class Fabric {
 
   int num_hosts() const { return static_cast<int>(stations_.size()); }
   int num_switches() const { return static_cast<int>(switches_.size()); }
-  int num_links() const { return static_cast<int>(channels_.size()) / 2; }
+  int num_links() const { return link_directions_ / 2; }
+
+  /// The shard whose engine drives host `id`'s station (and should drive
+  /// its NIC + host model). Always 0 for single-engine fabrics.
+  int host_shard(NodeId id) const {
+    return host_shard_[static_cast<std::size_t>(id)];
+  }
 
   Station& station(NodeId id) { return *stations_[static_cast<size_t>(id)]; }
 
@@ -107,22 +130,37 @@ class Fabric {
   void set_trunk_link(int leaf, int spine, bool up);
   int num_trunks() const { return static_cast<int>(trunks_.size()); }
 
-  /// Adjusts uniform fault injection rates at runtime.
+  /// Adjusts uniform fault injection rates at runtime (all shards' fault
+  /// states update together; in a sharded chaos run the change lands at
+  /// the current window on every shard).
   void set_fault_rates(double drop_p, double corrupt_p) {
     params_.faults.drop_probability = drop_p;
     params_.faults.corrupt_probability = corrupt_p;
+    for (auto& fs : fault_states_) {
+      fs.faults.drop_probability = drop_p;
+      fs.faults.corrupt_probability = corrupt_p;
+    }
   }
 
   /// Swaps the burst-loss process parameters at runtime. Per-link state
   /// machines keep their current state; disabling stops all burst losses.
   void set_burst_loss(const GilbertElliottParams& burst) {
     params_.faults.burst = burst;
+    for (auto& fs : fault_states_) fs.faults.burst = burst;
   }
 
   const FaultParams& fault_params() const { return params_.faults; }
 
-  std::uint64_t injected_drops() const { return injected_drops_; }
-  std::uint64_t injected_corruptions() const { return injected_corruptions_; }
+  std::uint64_t injected_drops() const {
+    std::uint64_t n = 0;
+    for (const auto& fs : fault_states_) n += fs.drops;
+    return n;
+  }
+  std::uint64_t injected_corruptions() const {
+    std::uint64_t n = 0;
+    for (const auto& fs : fault_states_) n += fs.corruptions;
+    return n;
+  }
 
   // Per-link statistics live in the engine's metric registry under
   // `fabric.link.<label>.*` (packets_tx / bytes_tx / drops_down /
@@ -139,22 +177,55 @@ class Fabric {
   }
 
  private:
-  explicit Fabric(sim::Engine& engine, const FabricParams& params)
-      : engine_(&engine),
-        params_(params),
-        fault_rng_(params.faults.fault_seed) {}
+  /// A link direction as wired into devices: `tx` on the sender's shard,
+  /// `rx` on the receiver's. The same object twice when both ends share a
+  /// shard (the ordinary single-engine channel).
+  struct Link {
+    Channel* tx = nullptr;
+    Channel* rx = nullptr;
+  };
 
-  Channel* new_channel(std::string label);
-  void install_fault_filter(Channel* c);
+  Fabric(std::vector<sim::Engine*> engines, sim::ShardRouter* router,
+         const FabricParams& params);
+
+  static std::unique_ptr<Fabric> build_crossbar(
+      std::vector<sim::Engine*> engines, sim::ShardRouter* router, int hosts,
+      const FabricParams& params);
+  static std::unique_ptr<Fabric> build_fat_tree(
+      std::vector<sim::Engine*> engines, sim::ShardRouter* router, int hosts,
+      int hosts_per_leaf, int spines, const FabricParams& params);
+
+  int num_shards() const { return static_cast<int>(engines_.size()); }
+
+  Link new_channel(std::string label, int tx_shard, int rx_shard);
+  void install_fault_filter(Channel* c, int shard);
   void register_metrics();
   void build_route_table();
 
   // Topology-specific route enumeration.
   std::vector<Route> compute_routes(NodeId src, NodeId dst) const;
 
-  sim::Engine* engine_;
+  std::vector<sim::Engine*> engines_;  // [shard] -> engine; [0] for serial
+  sim::ShardRouter* router_;           // null for single-engine fabrics
   FabricParams params_;
-  sim::Rng fault_rng_;
+
+  // Per-shard fault machinery: each shard's channels draw from their own
+  // RNG and tally into their own counters, so fault injection never shares
+  // state across workers. Shard 0 is seeded with fault_seed itself —
+  // single-shard runs reproduce the serial fault stream exactly.
+  struct FaultState {
+    FaultState(std::uint64_t seed, const FaultParams& f)
+        : rng(seed), faults(f) {}
+    sim::Rng rng;
+    FaultParams faults;
+    std::uint64_t drops = 0;
+    std::uint64_t corruptions = 0;
+  };
+  std::deque<FaultState> fault_states_;  // address-stable; filters capture
+
+  std::vector<int> host_shard_;    // [host] -> shard
+  std::vector<int> switch_shard_;  // [switch] -> shard, parallel to switches_
+  int link_directions_ = 0;
 
   std::vector<std::unique_ptr<Station>> stations_;
   std::vector<std::unique_ptr<Switch>> switches_;
@@ -191,9 +262,6 @@ class Fabric {
   Topology topology_ = Topology::kCrossbar;
   int hosts_per_leaf_ = 0;
   int spines_ = 0;
-
-  std::uint64_t injected_drops_ = 0;
-  std::uint64_t injected_corruptions_ = 0;
 };
 
 }  // namespace vnet::myrinet

@@ -7,6 +7,7 @@
 
 #include "myrinet/packet.hpp"
 #include "sim/engine.hpp"
+#include "sim/shard.hpp"
 
 namespace vnet::myrinet {
 
@@ -47,6 +48,24 @@ struct LinkParams {
 ///   * `head_delay` on send() lets the switch fold its cut-through latency
 ///     into the downstream serialization start instead of scheduling its
 ///     own per-packet event.
+///
+/// Cross-shard operation: when the two ends of a link direction live on
+/// different engine shards (sim/shard.hpp), the direction is *split* into a
+/// tx half on the sender's engine and an rx half on the receiver's engine,
+/// coupled through the ShardRouter instead of direct engine events:
+///   * the tx half evaluates link-down / fault drops at send time (the
+///     serial channel evaluates them at wire-arrival; the outcomes differ
+///     only when the state changes during the ~flight time, which the
+///     multi-shard determinism contract permits) and posts the delivery —
+///     timestamped delivered_at >= now + serialization + propagation, which
+///     clears the lookahead bound L = propagation with slack;
+///   * the rx half turns release_credit() into a routed credit-arrival
+///     record at now + propagation back on the tx shard — the tightest
+///     cross-shard record, exactly L after its posting instant;
+///   * dropped packets refund their credit via a local tx-shard event at
+///     the would-be delivery instant.
+/// Both halves stay single-threaded: each runs only on its own shard's
+/// worker, and all coupling flows through the router's outboxes.
 class Channel {
  public:
   Channel(sim::Engine& engine, LinkParams params)
@@ -54,6 +73,30 @@ class Channel {
 
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
+
+  /// Turns this channel into the transmit half of a cross-shard direction.
+  /// `rx` is the receive half on shard `peer_shard`'s engine.
+  void make_remote_tx(sim::ShardRouter* router, int self_shard,
+                      int peer_shard, Channel* rx) {
+    router_ = router;
+    self_shard_ = self_shard;
+    peer_shard_ = peer_shard;
+    remote_peer_ = rx;
+    mode_ = Mode::kRemoteTx;
+  }
+
+  /// Turns this channel into the receive half of a cross-shard direction.
+  /// `tx` is the transmit half on shard `peer_shard`'s engine.
+  void make_remote_rx(sim::ShardRouter* router, int self_shard,
+                      int peer_shard, Channel* tx) {
+    router_ = router;
+    self_shard_ = self_shard;
+    peer_shard_ = peer_shard;
+    remote_peer_ = tx;
+    mode_ = Mode::kRemoteRx;
+  }
+
+  bool is_remote() const { return mode_ != Mode::kLocal; }
 
   /// Downstream delivery hook (set by the owning device at wiring time).
   std::function<void(Packet)> on_deliver;
@@ -87,6 +130,10 @@ class Channel {
     // wire-stage boundary for latency attribution (packet.hpp).
     p.delivered_at = tx_free_at_ + params_.propagation;
     if (p.hops < 0xff) ++p.hops;
+    if (mode_ == Mode::kRemoteTx) {
+      send_remote(std::move(p));
+      return;
+    }
     train_.push_back(std::move(p));
     if (!delivery_pending_) {
       delivery_pending_ = true;
@@ -98,8 +145,28 @@ class Channel {
   /// device when the packet leaves its input stage). The credit still
   /// travels back over the wire: it matures one propagation delay from now.
   void release_credit() {
+    if (mode_ == Mode::kRemoteRx) {
+      // The credit crosses back to the tx shard as a routed record maturing
+      // one propagation from now — the binding case of the lookahead bound.
+      router_->post(self_shard_, peer_shard_,
+                    engine_->now() + params_.propagation,
+                    [tx = remote_peer_] { tx->remote_credit_arrived(); });
+      return;
+    }
     credit_returns_.push_back(engine_->now() + params_.propagation);
     if (waiting_) arm_wakeup();
+  }
+
+  /// Hands an arrived packet to this rx half's device (runs on the rx
+  /// shard's engine at the packet's delivered_at instant).
+  void deliver_remote(Packet p) {
+    if (on_deliver) on_deliver(std::move(p));
+  }
+
+  /// A routed credit matured on this tx half (runs on the tx shard).
+  void remote_credit_arrived() {
+    ++credits_;
+    wake_owner();
   }
 
   /// Arms a one-shot on_tx_ready callback for when can_send() next turns
@@ -143,6 +210,32 @@ class Channel {
   const LinkParams& params() const { return params_; }
 
  private:
+  enum class Mode { kLocal, kRemoteTx, kRemoteRx };
+
+  /// Cross-shard transmit tail of send(): drop decisions happen here, at
+  /// send time on the tx shard; survivors become router records.
+  void send_remote(Packet p) {
+    const bool drop = !up_ || (fault_filter && fault_filter(p));
+    if (drop) {
+      if (!up_) {
+        ++dropped_down_;
+      } else {
+        ++dropped_fault_;
+      }
+      // The receiver never sees the packet, so no credit will be routed
+      // back; refund locally when the wire crossing would have completed.
+      engine_->at(p.delivered_at, [this] {
+        ++credits_;
+        wake_owner();
+      });
+      return;
+    }
+    router_->post(self_shard_, peer_shard_, p.delivered_at,
+                  [rx = remote_peer_, p = std::move(p)]() mutable {
+                    rx->deliver_remote(std::move(p));
+                  });
+  }
+
   /// Delivers every train entry that has reached its arrival instant (ties
   /// share one event), then re-arms for the new head. Faults and link-down
   /// drops are evaluated here, at wire-crossing completion.
@@ -202,6 +295,12 @@ class Channel {
   LinkParams params_;
   int credits_;
   bool up_ = true;
+  // Cross-shard coupling (null/kLocal for an ordinary single-engine link).
+  sim::ShardRouter* router_ = nullptr;
+  Channel* remote_peer_ = nullptr;
+  int self_shard_ = 0;
+  int peer_shard_ = 0;
+  Mode mode_ = Mode::kLocal;
   /// When the transmitter finishes serializing everything accepted so far.
   sim::Time tx_free_at_ = 0;
   /// Packets on the wire, arrival order; head owns the one pending event.

@@ -28,6 +28,9 @@ class Process;
 /// function of (time, insertion order) and runs are reproducible.
 ///
 /// Single-threaded by design: a cluster simulation is one logical timeline.
+/// Parallel runs use one Engine per shard (sim/shard.hpp), each advanced by
+/// exactly one worker thread per time window; nothing in this class is
+/// shared across workers mid-window.
 class Engine {
  public:
   explicit Engine(std::uint64_t seed = 1) : rng_(seed) {
@@ -139,6 +142,16 @@ class Engine {
 
   /// Runs all events with timestamp <= t, then sets now() = t.
   std::size_t run_until(Time t);
+
+  /// Runs all events with timestamp strictly < end, leaving now() at the
+  /// last executed event. The conservative window step of sim/shard.hpp:
+  /// windows partition the (time, seq)-ordered pop stream, so a windowed
+  /// run fires the identical event sequence (and replay digest) as run().
+  std::size_t run_window(Time end);
+
+  bool has_events() const { return !queue_.empty(); }
+  /// Time of the earliest pending event. Precondition: has_events().
+  Time next_event_time() { return queue_.next_time(); }
 
   /// Runs for `d` more nanoseconds of simulated time.
   std::size_t run_for(Duration d) { return run_until(now_ + d); }

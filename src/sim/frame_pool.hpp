@@ -14,9 +14,12 @@ namespace vnet::sim::detail {
 /// the default promise allocator takes those from the global heap one at a
 /// time. Frame sizes are compiler-chosen but perfectly repetitive: the same
 /// handful of sizes recur once or more per simulated message. Parking freed
-/// frames on per-size free lists (the simulator is single-threaded) makes
-/// steady-state Task creation allocation-free, the coroutine counterpart of
-/// ClosureArena for event closures.
+/// frames on per-size free lists makes steady-state Task creation
+/// allocation-free, the coroutine counterpart of ClosureArena for event
+/// closures. The pool is thread_local: each shard worker (sim/shard.hpp)
+/// recycles frames privately, with no cross-thread traffic on the hot path.
+/// Frames allocated on one thread and freed on another simply migrate
+/// between pools — both sides fall back to global new/delete, which is safe.
 class FramePool {
  public:
   static constexpr std::size_t kGrain = 64;
@@ -64,7 +67,7 @@ class FramePool {
 };
 
 inline FramePool& frame_pool() {
-  static FramePool pool;
+  static thread_local FramePool pool;
   return pool;
 }
 

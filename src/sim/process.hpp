@@ -149,6 +149,15 @@ inline std::size_t Engine::run() {
   return n;
 }
 
+inline std::size_t Engine::run_window(Time end) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.next_time() < end) {
+    step();
+    ++n;
+  }
+  return n;
+}
+
 inline std::size_t Engine::run_until(Time t) {
   std::size_t n = 0;
   while (!queue_.empty() && queue_.next_time() <= t) {

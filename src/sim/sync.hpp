@@ -18,11 +18,13 @@ namespace detail {
 
 /// Allocator recycling CondVar wait-state blocks. Every datapath wait
 /// (host block/block_for, firmware doze) materializes one shared state;
-/// with make_shared that is a fresh heap allocation per wait. The
-/// simulator is single-threaded, so a process-wide free list (one size
-/// class: the allocator is only ever rebound to the combined
-/// control-block + WaitState type) keeps steady-state waiting
-/// allocation-free.
+/// with make_shared that is a fresh heap allocation per wait. A
+/// thread-local free list (one size class: the allocator is only ever
+/// rebound to the combined control-block + WaitState type) keeps
+/// steady-state waiting allocation-free with no cross-thread traffic when
+/// shard workers (sim/shard.hpp) run engines in parallel. Blocks freed on
+/// a different thread than they were allocated just migrate pools; both
+/// sides bottom out in global new/delete.
 template <typename T>
 struct WaitStateAlloc {
   using value_type = T;
@@ -54,12 +56,17 @@ struct WaitStateAlloc {
 
  private:
   // One free list per rebound T, so every pooled block has T's exact size.
-  // Never destroyed: if the vector died during static teardown, the blocks
-  // parked in it would become unreachable and LeakSanitizer would report
-  // the pool itself as leaked memory.
+  // The pool frees parked blocks when its thread exits (engines are always
+  // torn down before their driving thread), keeping LeakSanitizer clean.
+  struct Pool {
+    std::vector<void*> slots;
+    ~Pool() {
+      for (void* p : slots) ::operator delete(p);
+    }
+  };
   static std::vector<void*>& freelist() {
-    static auto* fl = new std::vector<void*>();
-    return *fl;
+    static thread_local Pool pool;
+    return pool.slots;
   }
 };
 
